@@ -1,0 +1,51 @@
+//! Benchmarks the greedy vertex-cover / max-coverage machinery on pair
+//! graphs of growing size (the lazy-heap greedy is near-linear; this bench
+//! guards that property).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cp_core::exact::ConvergingPair;
+use cp_core::gpk::PairGraph;
+use cp_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_pairs(n_nodes: u32, n_pairs: usize, seed: u64) -> Vec<ConvergingPair> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n_pairs);
+    while out.len() < n_pairs {
+        let u = rng.random_range(0..n_nodes);
+        let v = rng.random_range(0..n_nodes);
+        if u != v {
+            out.push(ConvergingPair::new(NodeId(u), NodeId(v), 1));
+        }
+    }
+    out
+}
+
+fn bench_greedy_cover(c: &mut Criterion) {
+    let mut group = c.benchmark_group("greedy_cover");
+    for pairs in [100usize, 1_000, 10_000] {
+        let data = random_pairs(pairs as u32 / 2, pairs, 3);
+        let gpk = PairGraph::new(&data);
+        group.bench_with_input(BenchmarkId::new("pairs", pairs), &gpk, |b, gpk| {
+            b.iter(|| black_box(gpk.greedy_vertex_cover().nodes.len()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_budgeted_coverage(c: &mut Criterion) {
+    let data = random_pairs(2_000, 20_000, 5);
+    let gpk = PairGraph::new(&data);
+    let mut group = c.benchmark_group("greedy_max_coverage");
+    for budget in [10usize, 100, 1_000] {
+        group.bench_with_input(BenchmarkId::new("budget", budget), &budget, |b, &budget| {
+            b.iter(|| black_box(gpk.greedy_max_coverage(budget).covered_pairs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_cover, bench_budgeted_coverage);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! End-to-end benchmarks: the budgeted pipeline against the exact
+//! all-pairs baseline — the speed/coverage trade-off the whole paper is
+//! about, in wall-clock terms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cp_core::exact::{exact_top_k, TopKSpec};
+use cp_core::selectors::SelectorKind;
+use cp_core::topk::budgeted_top_k;
+use cp_gen::datasets::{DatasetKind, DatasetProfile};
+use cp_graph::Graph;
+use std::hint::black_box;
+
+fn eval_pair(scale: f64) -> (Graph, Graph) {
+    DatasetProfile::scaled(DatasetKind::InternetLinks, scale)
+        .generate(13)
+        .snapshot_pair(0.8, 1.0)
+}
+
+fn bench_exact_baseline(c: &mut Criterion) {
+    let (g1, g2) = eval_pair(0.05);
+    let mut group = c.benchmark_group("exact_baseline");
+    group.sample_size(10);
+    group.bench_function("all_pairs_topk", |b| {
+        b.iter(|| {
+            black_box(
+                exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 4).k(),
+            )
+        });
+    });
+    group.finish();
+}
+
+fn bench_budgeted_vs_budget(c: &mut Criterion) {
+    let (g1, g2) = eval_pair(0.05);
+    let spec = TopKSpec::Threshold { delta_min: 2 };
+    let mut group = c.benchmark_group("budgeted_pipeline");
+    for m in [10u64, 50, 100] {
+        group.bench_with_input(BenchmarkId::new("mmsd_m", m), &m, |b, &m| {
+            b.iter(|| {
+                let mut sel = SelectorKind::Mmsd { landmarks: 10 }.build(1);
+                black_box(budgeted_top_k(&g1, &g2, sel.as_mut(), m, &spec).pairs.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact_baseline, bench_budgeted_vs_budget);
+criterion_main!(benches);

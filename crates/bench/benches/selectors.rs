@@ -1,0 +1,63 @@
+//! Benchmarks candidate generation cost per selector family, and the
+//! landmark-count ablation (the paper fixes l = 10; this shows why more
+//! landmarks do not pay for themselves).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cp_core::oracle::SnapshotOracle;
+use cp_core::selectors::SelectorKind;
+use cp_gen::datasets::{DatasetKind, DatasetProfile};
+use cp_graph::Graph;
+use std::hint::black_box;
+
+fn eval_pair() -> (Graph, Graph) {
+    DatasetProfile::scaled(DatasetKind::Facebook, 0.1)
+        .generate(11)
+        .snapshot_pair(0.8, 1.0)
+}
+
+fn bench_rank_cost(c: &mut Criterion) {
+    let (g1, g2) = eval_pair();
+    let mut group = c.benchmark_group("selector_rank");
+    let kinds = [
+        SelectorKind::Degree,
+        SelectorKind::DegRel,
+        SelectorKind::MaxMin,
+        SelectorKind::MaxAvg,
+        SelectorKind::SumDiff { landmarks: 10 },
+        SelectorKind::Mmsd { landmarks: 10 },
+        SelectorKind::IncDeg,
+        SelectorKind::Random,
+    ];
+    for kind in kinds {
+        group.bench_with_input(
+            BenchmarkId::new("kind", kind.name()),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 100);
+                    let mut sel = kind.build(3);
+                    black_box(sel.rank(&mut oracle).len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_landmark_count_ablation(c: &mut Criterion) {
+    let (g1, g2) = eval_pair();
+    let mut group = c.benchmark_group("landmark_count_ablation");
+    for l in [2usize, 5, 10, 20, 40] {
+        group.bench_with_input(BenchmarkId::new("l", l), &l, |b, &l| {
+            b.iter(|| {
+                let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 400);
+                let mut sel = SelectorKind::Mmsd { landmarks: l }.build(5);
+                black_box(sel.rank(&mut oracle).len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank_cost, bench_landmark_count_ablation);
+criterion_main!(benches);

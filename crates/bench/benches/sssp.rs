@@ -1,0 +1,63 @@
+//! Microbenchmarks for the SSSP layer — the paper's unit of computational
+//! cost. Establishes what one "budget unit" costs on each dataset shape.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cp_gen::datasets::{DatasetKind, DatasetProfile};
+use cp_graph::bfs::{bfs_into, BfsWorkspace};
+use cp_graph::dijkstra::dijkstra;
+use cp_graph::{GraphBuilder, NodeId};
+use std::hint::black_box;
+
+fn bench_bfs_per_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_single_source");
+    for kind in DatasetKind::ALL {
+        let g = DatasetProfile::scaled(kind, 0.1)
+            .generate(7)
+            .snapshot_at_fraction(1.0);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("dataset", kind.name()),
+            &g,
+            |b, g| {
+                let mut ws = BfsWorkspace::new();
+                let mut dist = Vec::new();
+                let mut src = 0u32;
+                b.iter(|| {
+                    bfs_into(g, NodeId(src % g.num_nodes() as u32), &mut dist, &mut ws);
+                    src = src.wrapping_add(97);
+                    black_box(dist.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_dijkstra_vs_bfs(c: &mut Criterion) {
+    // Same topology, unit weights: measures the Dijkstra overhead the
+    // unweighted fast path avoids.
+    let t = DatasetProfile::scaled(DatasetKind::Facebook, 0.1).generate(7);
+    let unweighted = t.snapshot_at_fraction(1.0);
+    let mut b = GraphBuilder::new(unweighted.num_nodes());
+    for (u, v) in unweighted.edges() {
+        b.add_weighted_edge(u, v, 1);
+    }
+    let weighted = b.build();
+
+    let mut group = c.benchmark_group("sssp_dispatch");
+    group.bench_function("bfs_unweighted", |b| {
+        let mut ws = BfsWorkspace::new();
+        let mut dist = Vec::new();
+        b.iter(|| {
+            bfs_into(&unweighted, NodeId(0), &mut dist, &mut ws);
+            black_box(dist[dist.len() - 1])
+        });
+    });
+    group.bench_function("dijkstra_unit_weights", |b| {
+        b.iter(|| black_box(dijkstra(&weighted, NodeId(0)).len()));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_per_dataset, bench_dijkstra_vs_bfs);
+criterion_main!(benches);

@@ -1,0 +1,119 @@
+//! Ablation studies for the design choices DESIGN.md §7 calls out:
+//!
+//! 1. landmark count `l` (the paper fixes 10 and reports that more did not
+//!    help) — coverage at a fixed budget as `l` varies;
+//! 2. the classifier's positive class — greedy cover vs all `G^p_k`
+//!    endpoints (the paper reports "very similar" results);
+//! 3. class weighting in the logistic regression — plain (LIBLINEAR
+//!    default) vs inverse-frequency balanced;
+//! 4. the ranking norm — L1 (SumDiff) vs L∞ (MaxDiff) under each landmark
+//!    placement policy.
+
+use cp_bench::{pct, print_table, scaled_budget, Options};
+use cp_core::experiment::{run_kind, run_selector};
+use cp_core::selectors::{ClassifierConfig, PositiveClass, SelectorKind};
+
+fn main() {
+    let opts = Options::from_env();
+    let m = scaled_budget(100, opts.scale);
+    let slack = 1u32;
+    // One snapshot bundle per dataset, shared by all ablations so the
+    // exact ground truth is computed once.
+    let mut snapshots = opts.all_snapshots();
+
+    // ---- 1. Landmark count ----
+    let mut rows = Vec::new();
+    for kind_name in ["SumDiff", "MMSD", "MASD"] {
+        let mut cells = vec![kind_name.to_string()];
+        for l in [2usize, 5, 10, 20, 40] {
+            let kind = match kind_name {
+                "SumDiff" => SelectorKind::SumDiff { landmarks: l },
+                "MMSD" => SelectorKind::Mmsd { landmarks: l },
+                _ => SelectorKind::Masd { landmarks: l },
+            };
+            let mut total = 0.0;
+            for snaps in snapshots.iter_mut() {
+                total += run_kind(snaps, kind, m, slack, opts.seed).coverage;
+            }
+            cells.push(pct(total / 4.0));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!("Ablation 1: landmark count l (mean coverage % over 4 datasets, m = {m})"),
+        &["selector", "l=2", "l=5", "l=10", "l=20", "l=40"],
+        &rows,
+    );
+    println!(
+        "Paper claim to check: performance saturates around l = 10; bigger l\n\
+         spends budget on landmarks without improving the ranking."
+    );
+
+    // ---- 2 & 3. Classifier positive class × balancing ----
+    let mut rows = Vec::new();
+    for (label, positive_class, balanced) in [
+        ("cover, balanced", PositiveClass::GreedyCover, true),
+        ("cover, plain", PositiveClass::GreedyCover, false),
+        ("endpoints, balanced", PositiveClass::AllEndpoints, true),
+        ("endpoints, plain", PositiveClass::AllEndpoints, false),
+    ] {
+        let mut cells = vec![label.to_string()];
+        for snaps in snapshots.iter_mut() {
+            let config = ClassifierConfig {
+                positive_class,
+                balanced,
+                slack,
+                threads: opts.threads,
+                ..ClassifierConfig::default()
+            };
+            let mut classifier = snaps.local_classifier(config, opts.seed);
+            let row = run_selector(snaps, &mut classifier, m, slack);
+            cells.push(pct(row.coverage));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!("Ablation 2+3: classifier positive class and class weighting (coverage % at m = {m})"),
+        &["variant", "Actors", "Internet links", "Facebook", "DBLP"],
+        &rows,
+    );
+
+    // ---- 4. Norm choice under each placement ----
+    let mut rows = Vec::new();
+    let l = 10usize;
+    for (label, l1, linf) in [
+        (
+            "random",
+            SelectorKind::SumDiff { landmarks: l },
+            SelectorKind::MaxDiff { landmarks: l },
+        ),
+        (
+            "MaxMin",
+            SelectorKind::Mmsd { landmarks: l },
+            SelectorKind::Mmmd { landmarks: l },
+        ),
+        (
+            "MaxAvg",
+            SelectorKind::Masd { landmarks: l },
+            SelectorKind::Mamd { landmarks: l },
+        ),
+    ] {
+        let mut sum_total = 0.0;
+        let mut max_total = 0.0;
+        for snaps in snapshots.iter_mut() {
+            sum_total += run_kind(snaps, l1, m, slack, opts.seed).coverage;
+            max_total += run_kind(snaps, linf, m, slack, opts.seed).coverage;
+        }
+        rows.push(vec![
+            label.to_string(),
+            pct(sum_total / 4.0),
+            pct(max_total / 4.0),
+        ]);
+    }
+    print_table(
+        "Ablation 4: L1 (SumDiff) vs Linf (MaxDiff) ranking norm (mean coverage %)",
+        &["landmark placement", "L1", "Linf"],
+        &rows,
+    );
+    println!("Paper claim to check: SumDiff consistently beats MaxDiff.");
+}

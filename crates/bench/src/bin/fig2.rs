@@ -1,0 +1,58 @@
+//! Figure 2 — candidate quality on the Facebook-like dataset: the fraction
+//! of generated candidates that (a) are endpoints of true top-k pairs and
+//! (b) belong to the greedy cover of `G^p_k`, as the budget grows.
+//!
+//! Paper shape: selectors that cover many pairs also intersect both sets
+//! strongly, and the SumDiff-based methods have the largest greedy-cover
+//! intersection ("they discover high-quality candidate nodes").
+
+use cp_bench::{pct, print_table, scaled_budget, Options};
+use cp_core::experiment::candidate_quality;
+use cp_core::selectors::SelectorKind;
+use cp_gen::datasets::DatasetKind;
+
+fn main() {
+    let opts = Options::from_env();
+    let slack = 1u32;
+    let budgets: Vec<u64> = [20u64, 50, 100, 200, 300]
+        .iter()
+        .map(|&m| scaled_budget(m, opts.scale))
+        .collect();
+    let suite = SelectorKind::fig1_suite();
+    let mut snaps = opts.snapshots(DatasetKind::Facebook);
+    let k = snaps.truth(slack).k();
+
+    type Pick = fn(&cp_core::experiment::CandidateQualityRow) -> f64;
+    let views: [(&str, Pick); 2] = [
+        (
+            "Figure 2(a): % of candidates that are G^p_k endpoints",
+            |q| q.in_gpk,
+        ),
+        (
+            "Figure 2(b): % of candidates inside the greedy cover",
+            |q| q.in_greedy_cover,
+        ),
+    ];
+    for (title, pick) in views {
+        let mut rows = Vec::new();
+        for &kind in &suite {
+            let mut cells = vec![kind.name().to_string()];
+            for &m in &budgets {
+                let q = candidate_quality(&mut snaps, kind, m, slack, opts.seed);
+                if opts.json {
+                    println!("{}", serde_json::to_string(&q).unwrap());
+                }
+                cells.push(pct(pick(&q)));
+            }
+            rows.push(cells);
+        }
+        let mut header = vec!["selector".to_string()];
+        header.extend(budgets.iter().map(|m| format!("m={m}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!("{title} [{}; delta = max-1, k = {k}]", snaps.name),
+            &header_refs,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,109 @@
+//! Figure 3 — the classifiers vs the best single-feature algorithm:
+//! coverage as the budget grows, one panel per dataset.
+//!
+//! The local classifier (L-Classifier) trains on the 40 %/60 % snapshots
+//! of the same dataset; the global classifier (G-Classifier) trains on all
+//! four datasets' training pairs in equal proportion, with graph-level
+//! features appended. Paper shape: both catch up with the per-dataset best
+//! algorithm despite the 3·2l landmark set-up handicap; G-Classifier lags
+//! on the atypical Actors-like dataset.
+
+use cp_bench::{pct, print_table, scaled_budget, Options};
+use cp_core::experiment::{run_kind, run_selector, Snapshots};
+use cp_core::selectors::{ClassifierConfig, ClassifierSelector, SelectorKind};
+
+fn main() {
+    let opts = Options::from_env();
+    let slack = 1u32;
+    let budgets: Vec<u64> = [20u64, 50, 100, 200, 300]
+        .iter()
+        .map(|&m| scaled_budget(m, opts.scale))
+        .collect();
+    let config = ClassifierConfig {
+        slack,
+        threads: opts.threads,
+        ..ClassifierConfig::default()
+    };
+
+    let mut all: Vec<Snapshots> = opts.all_snapshots();
+
+    // The global classifier trains on every dataset's training pair. The
+    // graphs are cloned out so the snapshot bundles stay mutably borrowable
+    // inside the per-dataset loop.
+    let training: Vec<(cp_graph::Graph, cp_graph::Graph)> = all
+        .iter()
+        .map(|s| (s.train_g1.clone(), s.train_g2.clone()))
+        .collect();
+    let training_pairs: Vec<(&cp_graph::Graph, &cp_graph::Graph)> =
+        training.iter().map(|(a, b)| (a, b)).collect();
+    eprintln!("training G-Classifier on all training pairs...");
+    let mut global = ClassifierSelector::train_global(&training_pairs, config, opts.seed);
+
+    for snaps in all.iter_mut() {
+        let k = snaps.truth(slack).k();
+
+        // Find the best single-feature selector at the paper's reference
+        // budget for this dataset.
+        let reference_m = scaled_budget(100, opts.scale);
+        let mut best_kind = SelectorKind::Mmsd {
+            landmarks: cp_core::selectors::DEFAULT_LANDMARKS,
+        };
+        let mut best_cov = -1.0;
+        for kind in SelectorKind::table5_suite() {
+            let row = run_kind(snaps, kind, reference_m, slack, opts.seed);
+            if row.coverage > best_cov {
+                best_cov = row.coverage;
+                best_kind = kind;
+            }
+        }
+        eprintln!(
+            "[{}] best single-feature selector at m={reference_m}: {} ({:.1}%)",
+            snaps.name,
+            best_kind.name(),
+            100.0 * best_cov
+        );
+
+        let mut rows = Vec::new();
+        // Row 1: the best algorithm across budgets.
+        let mut cells = vec![format!("best ({})", best_kind.name())];
+        for &m in &budgets {
+            cells.push(pct(run_kind(snaps, best_kind, m, slack, opts.seed).coverage));
+        }
+        rows.push(cells);
+
+        // Row 2: local classifier.
+        let mut local = snaps.local_classifier(config, opts.seed);
+        let mut cells = vec!["L-Classifier".to_string()];
+        for &m in &budgets {
+            let row = run_selector(snaps, &mut local, m, slack);
+            if opts.json {
+                println!("{}", serde_json::to_string(&row).unwrap());
+            }
+            cells.push(pct(row.coverage));
+        }
+        rows.push(cells);
+
+        // Row 3: global classifier (trained once on all four datasets).
+        let mut cells = vec!["G-Classifier".to_string()];
+        for &m in &budgets {
+            let row = run_selector(snaps, &mut global, m, slack);
+            if opts.json {
+                println!("{}", serde_json::to_string(&row).unwrap());
+            }
+            cells.push(pct(row.coverage));
+        }
+        rows.push(cells);
+
+        let mut header = vec!["series".to_string()];
+        header.extend(budgets.iter().map(|m| format!("m={m}")));
+        let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+        print_table(
+            &format!(
+                "Figure 3 [{}]: classifiers vs best algorithm (delta = max-1, k = {k})",
+                snaps.name
+            ),
+            &header_refs,
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,79 @@
+//! Diagnostic tool: where are the converging pairs of a dataset, and how
+//! do the landmark placements see them? Prints the top pairs, the greedy
+//! cover, and — for each landmark policy — the rank position that the
+//! cover nodes get in the SumDiff ordering. Useful when tuning the dataset
+//! emulators or investigating a selector's miss.
+
+use cp_bench::Options;
+use cp_core::oracle::SnapshotOracle;
+use cp_core::selectors::{
+    dispersion_pick, landmark_change_scores, DispersionMode,
+};
+use cp_core::PairGraph;
+use cp_gen::datasets::DatasetKind;
+use cp_graph::degrees::top_m_by_score_u32;
+use cp_graph::NodeId;
+
+fn main() {
+    let opts = Options::from_env();
+    for kind in DatasetKind::ALL {
+        let mut snaps = opts.snapshots(kind);
+        let truth = snaps.truth(1).clone();
+        let gpk = PairGraph::new(&truth.pairs);
+        let cover = gpk.greedy_vertex_cover();
+        println!(
+            "\n=== {} ===  delta_max {}  k {}  endpoints {}  maxcover {}",
+            snaps.name,
+            truth.delta_max,
+            truth.k(),
+            gpk.num_endpoints(),
+            cover.nodes.len()
+        );
+        for p in truth.pairs.iter().take(5) {
+            println!("  top pair ({}, {}) delta {}", p.pair.0, p.pair.1, p.delta);
+        }
+        println!(
+            "  cover (first 10): {:?}",
+            &cover.nodes[..cover.nodes.len().min(10)]
+        );
+
+        for (label, mode) in [
+            ("random", None),
+            ("maxmin", Some(DispersionMode::MaxMin)),
+            ("maxavg", Some(DispersionMode::MaxAvg)),
+        ] {
+            let mut oracle = SnapshotOracle::unbounded(&snaps.g1, &snaps.g2);
+            let landmarks: Vec<NodeId> = match mode {
+                Some(m) => dispersion_pick(&mut oracle, 10, m),
+                None => {
+                    use rand::{Rng, SeedableRng};
+                    let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
+                    let g1 = &snaps.g1;
+                    let pool: Vec<NodeId> =
+                        g1.nodes().filter(|&u| g1.degree(u) > 0).collect();
+                    (0..10)
+                        .map(|_| pool[rng.random_range(0..pool.len())])
+                        .collect()
+                }
+            };
+            let scores = landmark_change_scores(&mut oracle, &landmarks);
+            let ranked = top_m_by_score_u32(&scores.sum, snaps.g1.num_nodes());
+            let pos_of = |n: NodeId| ranked.iter().position(|&x| x == n).unwrap_or(usize::MAX);
+            let mut cover_positions: Vec<usize> =
+                cover.nodes.iter().map(|&c| pos_of(c)).collect();
+            cover_positions.sort_unstable();
+            let top_score = ranked
+                .first()
+                .map(|&u| scores.sum[u.index()])
+                .unwrap_or(0);
+            println!(
+                "  {label:>7} landmarks {:?}",
+                &landmarks[..landmarks.len().min(6)]
+            );
+            println!(
+                "          top sumdiff score {top_score}; cover nodes at sumdiff ranks {:?}",
+                &cover_positions[..cover_positions.len().min(10)]
+            );
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! Table 2 — dataset characteristics: nodes/edges per snapshot, exact
+//! diameters, the maximum distance decrease Δmax and the number of
+//! not-connected pairs in `G_t1`.
+
+use cp_bench::{print_table, Options};
+use cp_core::experiment::dataset_stats;
+
+fn main() {
+    let opts = Options::from_env();
+    let mut rows = Vec::new();
+    for mut snaps in opts.all_snapshots() {
+        let s = dataset_stats(&mut snaps);
+        if opts.json {
+            println!("{}", serde_json::to_string(&s).unwrap());
+        }
+        rows.push(vec![
+            s.dataset,
+            s.nodes.0.to_string(),
+            s.nodes.1.to_string(),
+            s.edges.0.to_string(),
+            s.edges.1.to_string(),
+            s.diameter.0.to_string(),
+            s.diameter.1.to_string(),
+            s.delta_max.to_string(),
+            s.not_connected.to_string(),
+        ]);
+    }
+    print_table(
+        &format!("Table 2: dataset characteristics (scale {})", opts.scale),
+        &[
+            "dataset",
+            "nodes G_t1",
+            "nodes G_t2",
+            "edges G_t1",
+            "edges G_t2",
+            "diam G_t1",
+            "diam G_t2",
+            "max delta",
+            "not-connected",
+        ],
+        &rows,
+    );
+}

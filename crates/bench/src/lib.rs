@@ -1,0 +1,186 @@
+//! Shared harness utilities for the experiment binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper's evaluation section (see DESIGN.md §5 for the index). They share
+//! command-line conventions:
+//!
+//! * `--scale=F`   — dataset scale in `(0, 1]`; `1.0` matches the paper's
+//!   graph sizes, the default `0.25` keeps a full run to a few minutes.
+//! * `--seed=N`    — generator seed (default 42).
+//! * `--threads=N` — BFS worker threads (default: available parallelism).
+//! * `--json`      — additionally emit rows as JSON lines on stdout.
+//!
+//! Output is a plain text table, shaped like the corresponding table or
+//! figure series in the paper, so paper-vs-measured comparison (recorded
+//! in EXPERIMENTS.md) is a side-by-side read.
+
+use cp_core::experiment::Snapshots;
+use cp_gen::datasets::{DatasetKind, DatasetProfile};
+
+/// Parsed common command-line options.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Dataset scale in `(0, 1]`.
+    pub scale: f64,
+    /// Generator seed.
+    pub seed: u64,
+    /// Worker threads.
+    pub threads: usize,
+    /// Emit JSON lines in addition to the table.
+    pub json: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            scale: 0.25,
+            seed: 42,
+            threads: cp_graph::apsp::default_threads(),
+            json: false,
+        }
+    }
+}
+
+impl Options {
+    /// Parses `--key=value` style arguments; unknown arguments abort with
+    /// a usage message.
+    pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        let mut opts = Options::default();
+        for arg in args {
+            if let Some(v) = arg.strip_prefix("--scale=") {
+                opts.scale = v.parse().unwrap_or_else(|_| usage(&arg));
+                assert!(
+                    opts.scale > 0.0 && opts.scale <= 1.0,
+                    "--scale must be in (0, 1]"
+                );
+            } else if let Some(v) = arg.strip_prefix("--seed=") {
+                opts.seed = v.parse().unwrap_or_else(|_| usage(&arg));
+            } else if let Some(v) = arg.strip_prefix("--threads=") {
+                opts.threads = v.parse().unwrap_or_else(|_| usage(&arg));
+            } else if arg == "--json" {
+                opts.json = true;
+            } else if arg == "--help" || arg == "-h" {
+                eprintln!("options: --scale=F --seed=N --threads=N --json");
+                std::process::exit(0);
+            } else {
+                usage(&arg);
+            }
+        }
+        opts
+    }
+
+    /// Parses from `std::env::args()`.
+    pub fn from_env() -> Options {
+        Options::parse(std::env::args().skip(1))
+    }
+
+    /// Builds the snapshot bundle for one dataset emulator.
+    pub fn snapshots(&self, kind: DatasetKind) -> Snapshots {
+        let t = DatasetProfile::scaled(kind, self.scale).generate(self.seed);
+        Snapshots::from_temporal(kind.name(), &t, self.threads)
+    }
+
+    /// All four dataset bundles, in the paper's order.
+    pub fn all_snapshots(&self) -> Vec<Snapshots> {
+        DatasetKind::ALL
+            .iter()
+            .map(|&k| self.snapshots(k))
+            .collect()
+    }
+}
+
+fn usage(arg: &str) -> ! {
+    eprintln!("unrecognized argument: {arg}");
+    eprintln!("options: --scale=F --seed=N --threads=N --json");
+    std::process::exit(2);
+}
+
+/// Prints a fixed-width text table: a header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a coverage fraction as a percentage with one decimal.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}", 100.0 * x)
+}
+
+/// The budget the paper uses for Table 5 (`m = 100`) scaled with the
+/// dataset scale so small-scale runs stay comparable: the paper's budgets
+/// are a fixed, small fraction of the node count.
+pub fn scaled_budget(m_full: u64, scale: f64) -> u64 {
+    ((m_full as f64 * scale).round() as u64).max(10)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_options() {
+        let opts = Options::parse(
+            ["--scale=0.5", "--seed=7", "--threads=3", "--json"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(opts.scale, 0.5);
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.threads, 3);
+        assert!(opts.json);
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let opts = Options::default();
+        assert!(opts.scale > 0.0 && opts.scale <= 1.0);
+        assert!(opts.threads >= 1);
+        assert!(!opts.json);
+    }
+
+    #[test]
+    fn scaled_budget_floors() {
+        assert_eq!(scaled_budget(100, 1.0), 100);
+        assert_eq!(scaled_budget(100, 0.25), 25);
+        assert_eq!(scaled_budget(100, 0.01), 10); // floor
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.905), "90.5");
+        assert_eq!(pct(1.0), "100.0");
+    }
+
+    #[test]
+    fn snapshots_build_at_tiny_scale() {
+        let opts = Options {
+            scale: 0.03,
+            ..Options::default()
+        };
+        let snaps = opts.snapshots(DatasetKind::Facebook);
+        assert!(snaps.g2.num_edges() > snaps.g1.num_edges());
+    }
+}

@@ -1,0 +1,254 @@
+//! The pair graph `G^p_k` and its greedy covers.
+//!
+//! Given the top-k converging pairs `P`, the paper defines the graph
+//! `G^p_k = (V_1, P)` whose edges are exactly those pairs. A vertex cover
+//! `C` of `G^p_k` is a perfect candidate set: SSSPs from `C` alone recover
+//! all of `P` with `O(n·|C|)` work. Minimum vertex cover is NP-hard, so the
+//! paper uses the classic greedy (pick the node covering the most uncovered
+//! pairs) both as the quality yardstick ("greedy-cover") and as the
+//! positive class of the classifier selectors.
+
+use crate::exact::ConvergingPair;
+use cp_graph::NodeId;
+use std::collections::HashMap;
+
+/// The pair graph `G^p_k`: an adjacency structure over the endpoints of the
+/// top-k converging pairs.
+///
+/// ```
+/// use cp_core::exact::ConvergingPair;
+/// use cp_core::gpk::PairGraph;
+/// use cp_graph::NodeId;
+///
+/// // Three pairs sharing node 7: a star in G^p_k.
+/// let pairs: Vec<ConvergingPair> = [1u32, 2, 3]
+///     .iter()
+///     .map(|&v| ConvergingPair::new(NodeId(7), NodeId(v), 2))
+///     .collect();
+/// let gpk = PairGraph::new(&pairs);
+/// let cover = gpk.greedy_vertex_cover();
+/// assert_eq!(cover.nodes, vec![NodeId(7)]); // one SSSP source suffices
+/// assert!(cover.is_complete(&gpk));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PairGraph {
+    pairs: Vec<(NodeId, NodeId)>,
+    /// Pair indices incident to each endpoint.
+    incidence: HashMap<NodeId, Vec<u32>>,
+}
+
+impl PairGraph {
+    /// Builds the pair graph from an answer set. Duplicate pairs collapse.
+    pub fn new(pairs: &[ConvergingPair]) -> Self {
+        let mut seen = std::collections::HashSet::with_capacity(pairs.len() * 2);
+        let mut dedup = Vec::with_capacity(pairs.len());
+        for p in pairs {
+            if seen.insert(p.pair) {
+                dedup.push(p.pair);
+            }
+        }
+        let mut incidence: HashMap<NodeId, Vec<u32>> = HashMap::new();
+        for (i, &(u, v)) in dedup.iter().enumerate() {
+            incidence.entry(u).or_default().push(i as u32);
+            incidence.entry(v).or_default().push(i as u32);
+        }
+        PairGraph {
+            pairs: dedup,
+            incidence,
+        }
+    }
+
+    /// Number of distinct pairs (edges of `G^p_k`).
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Number of distinct endpoints (non-isolated nodes of `G^p_k`).
+    pub fn num_endpoints(&self) -> usize {
+        self.incidence.len()
+    }
+
+    /// The distinct endpoints, ascending.
+    pub fn endpoints(&self) -> Vec<NodeId> {
+        let mut e: Vec<NodeId> = self.incidence.keys().copied().collect();
+        e.sort_unstable();
+        e
+    }
+
+    /// The pairs (edges), in insertion order.
+    pub fn pairs(&self) -> &[(NodeId, NodeId)] {
+        &self.pairs
+    }
+
+    /// Number of pairs with at least one endpoint in `nodes`.
+    pub fn covered_by(&self, nodes: &[NodeId]) -> usize {
+        let set: std::collections::HashSet<NodeId> = nodes.iter().copied().collect();
+        self.pairs
+            .iter()
+            .filter(|&&(u, v)| set.contains(&u) || set.contains(&v))
+            .count()
+    }
+
+    /// Greedy max-coverage: selects up to `budget` nodes, each maximizing
+    /// the number of still-uncovered pairs (ties → smaller node id), and
+    /// stops early once everything is covered. Returns the chosen nodes in
+    /// pick order. With `budget = usize::MAX` this is the paper's greedy
+    /// vertex cover ("maxcover" in Table 3), whose size is a logarithmic
+    /// approximation of the optimum.
+    pub fn greedy_max_coverage(&self, budget: usize) -> GreedyCover {
+        let mut covered = vec![false; self.pairs.len()];
+        let mut remaining = self.pairs.len();
+        // Lazy greedy: cached gains only ever shrink, so a max-heap with
+        // stale entries re-evaluated on pop is exact.
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+        let gain_of = |node: NodeId, covered: &[bool]| -> usize {
+            self.incidence
+                .get(&node)
+                .map(|ps| ps.iter().filter(|&&p| !covered[p as usize]).count())
+                .unwrap_or(0)
+        };
+        let mut heap: BinaryHeap<(usize, Reverse<NodeId>)> = self
+            .incidence
+            .iter()
+            .map(|(&node, ps)| (ps.len(), Reverse(node)))
+            .collect();
+        let mut picks = Vec::new();
+        while remaining > 0 && picks.len() < budget {
+            let Some((cached_gain, Reverse(node))) = heap.pop() else {
+                break;
+            };
+            let fresh = gain_of(node, &covered);
+            if fresh == 0 {
+                continue;
+            }
+            if fresh < cached_gain {
+                // Stale; push back with the fresh gain and retry. Another
+                // node with the same fresh gain but smaller id may exist in
+                // the heap, so tie order among re-pushed entries follows
+                // Reverse(node) — larger ids sort lower, keeping smaller-id
+                // preference.
+                heap.push((fresh, Reverse(node)));
+                continue;
+            }
+            picks.push(node);
+            for &p in &self.incidence[&node] {
+                if !covered[p as usize] {
+                    covered[p as usize] = true;
+                    remaining -= 1;
+                }
+            }
+        }
+        GreedyCover {
+            nodes: picks,
+            covered_pairs: self.pairs.len() - remaining,
+        }
+    }
+
+    /// The full greedy vertex cover (unbounded budget).
+    pub fn greedy_vertex_cover(&self) -> GreedyCover {
+        self.greedy_max_coverage(usize::MAX)
+    }
+}
+
+/// Result of a greedy cover run.
+#[derive(Clone, Debug)]
+pub struct GreedyCover {
+    /// Chosen nodes, in pick order.
+    pub nodes: Vec<NodeId>,
+    /// How many pairs they cover.
+    pub covered_pairs: usize,
+}
+
+impl GreedyCover {
+    /// Whether this is a complete vertex cover of its pair graph.
+    pub fn is_complete(&self, gpk: &PairGraph) -> bool {
+        self.covered_pairs == gpk.num_pairs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(u: u32, v: u32) -> ConvergingPair {
+        ConvergingPair::new(NodeId(u), NodeId(v), 1)
+    }
+
+    #[test]
+    fn star_covered_by_center() {
+        // Pairs (0,1), (0,2), (0,3): node 0 covers everything.
+        let g = PairGraph::new(&[cp(0, 1), cp(0, 2), cp(0, 3)]);
+        assert_eq!(g.num_pairs(), 3);
+        assert_eq!(g.num_endpoints(), 4);
+        let cover = g.greedy_vertex_cover();
+        assert_eq!(cover.nodes, vec![NodeId(0)]);
+        assert!(cover.is_complete(&g));
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let g = PairGraph::new(&[cp(0, 1), cp(1, 0), cp(0, 1)]);
+        assert_eq!(g.num_pairs(), 1);
+    }
+
+    #[test]
+    fn budget_limits_cover() {
+        // Two disjoint stars; budget 1 covers only the bigger one.
+        let g = PairGraph::new(&[cp(0, 1), cp(0, 2), cp(0, 3), cp(9, 8), cp(9, 7)]);
+        let partial = g.greedy_max_coverage(1);
+        assert_eq!(partial.nodes, vec![NodeId(0)]);
+        assert_eq!(partial.covered_pairs, 3);
+        assert!(!partial.is_complete(&g));
+        let full = g.greedy_max_coverage(2);
+        assert_eq!(full.nodes, vec![NodeId(0), NodeId(9)]);
+        assert!(full.is_complete(&g));
+    }
+
+    #[test]
+    fn ties_prefer_smaller_ids() {
+        // (0,1) and (2,3): all four nodes have gain 1.
+        let g = PairGraph::new(&[cp(0, 1), cp(2, 3)]);
+        let cover = g.greedy_vertex_cover();
+        assert_eq!(cover.nodes, vec![NodeId(0), NodeId(2)]);
+    }
+
+    #[test]
+    fn greedy_matches_path_structure() {
+        // Path pairs (0,1),(1,2),(2,3),(3,4): greedy picks 1 then 3 (both
+        // gain 2) -> complete cover of size 2.
+        let g = PairGraph::new(&[cp(0, 1), cp(1, 2), cp(2, 3), cp(3, 4)]);
+        let cover = g.greedy_vertex_cover();
+        assert_eq!(cover.nodes, vec![NodeId(1), NodeId(3)]);
+        assert!(cover.is_complete(&g));
+    }
+
+    #[test]
+    fn covered_by_counts_correctly() {
+        let g = PairGraph::new(&[cp(0, 1), cp(2, 3), cp(1, 3)]);
+        assert_eq!(g.covered_by(&[NodeId(1)]), 2);
+        assert_eq!(g.covered_by(&[NodeId(1), NodeId(2)]), 3);
+        assert_eq!(g.covered_by(&[]), 0);
+        assert_eq!(g.covered_by(&[NodeId(99)]), 0);
+    }
+
+    #[test]
+    fn empty_pair_graph() {
+        let g = PairGraph::new(&[]);
+        assert_eq!(g.num_pairs(), 0);
+        assert_eq!(g.num_endpoints(), 0);
+        let cover = g.greedy_vertex_cover();
+        assert!(cover.nodes.is_empty());
+        assert!(cover.is_complete(&g));
+        assert!(g.endpoints().is_empty());
+    }
+
+    #[test]
+    fn endpoints_sorted() {
+        let g = PairGraph::new(&[cp(5, 2), cp(9, 1)]);
+        assert_eq!(
+            g.endpoints(),
+            vec![NodeId(1), NodeId(2), NodeId(5), NodeId(9)]
+        );
+    }
+}

@@ -1,0 +1,338 @@
+//! The budget-enforcing SSSP oracle over a snapshot pair.
+//!
+//! The paper's cost model counts *single-source shortest-path computations*:
+//! every algorithm, selector phase included, is allowed exactly `2m` of
+//! them (Table 1). [`SnapshotOracle`] makes that model executable — all
+//! distance rows flow through it, each fresh row is charged to the current
+//! [`Phase`], cached rows are free (that is precisely how the dispersion
+//! selectors reuse their `G_t1` rows), and a hard cap turns overdraft into
+//! an error instead of a silently broken experiment.
+
+use cp_graph::bfs::{bfs_into, BfsWorkspace};
+use cp_graph::dijkstra::dijkstra_into;
+use cp_graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Which accounting bucket an SSSP computation lands in (paper Table 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Phase {
+    /// Candidate-endpoint generation (landmark rows, dispersion picks,
+    /// classifier features).
+    Generation,
+    /// The top-k phase: rows of the chosen candidates in both snapshots.
+    TopK,
+}
+
+/// The SSSP spend, split by phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BudgetLedger {
+    /// SSSPs spent generating candidates.
+    pub generation: u64,
+    /// SSSPs spent computing candidate rows for the top-k phase.
+    pub topk: u64,
+}
+
+impl BudgetLedger {
+    /// Total SSSPs spent.
+    pub fn total(&self) -> u64 {
+        self.generation + self.topk
+    }
+}
+
+/// Attempted to exceed the SSSP budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetError {
+    /// The configured cap.
+    pub limit: u64,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SSSP budget of {} computations exhausted", self.limit)
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+/// Which snapshot a row belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Snapshot {
+    /// The earlier snapshot `G_t1`.
+    First,
+    /// The later snapshot `G_t2`.
+    Second,
+}
+
+/// A pair of snapshots behind a counting, capping, caching SSSP interface.
+///
+/// ```
+/// use cp_core::oracle::SnapshotOracle;
+/// use cp_graph::builder::graph_from_edges;
+/// use cp_graph::NodeId;
+///
+/// let g1 = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let g2 = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+/// let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 4);
+///
+/// let (d1, d2) = oracle.rows(NodeId(0))?; // 2 SSSPs charged
+/// assert_eq!(d1[3], 3);
+/// assert_eq!(d2[3], 1); // the new chord
+/// assert_eq!(oracle.remaining(), 2);
+///
+/// oracle.rows(NodeId(0))?; // cached: free
+/// assert_eq!(oracle.remaining(), 2);
+/// # Ok::<(), cp_core::oracle::BudgetError>(())
+/// ```
+pub struct SnapshotOracle<'a> {
+    g1: &'a Graph,
+    g2: &'a Graph,
+    limit: Option<u64>,
+    phase: Phase,
+    ledger: BudgetLedger,
+    rows1: HashMap<u32, Vec<u32>>,
+    rows2: HashMap<u32, Vec<u32>>,
+    ws: BfsWorkspace,
+}
+
+impl<'a> SnapshotOracle<'a> {
+    /// Creates an oracle with a hard cap of `limit` SSSP computations
+    /// across both snapshots (the paper's `2m`).
+    pub fn with_budget(g1: &'a Graph, g2: &'a Graph, limit: u64) -> Self {
+        Self::new_inner(g1, g2, Some(limit))
+    }
+
+    /// Creates an uncapped oracle (used by the exact baseline's
+    /// bookkeeping and the unbudgeted Incidence algorithm; it still counts).
+    pub fn unbounded(g1: &'a Graph, g2: &'a Graph) -> Self {
+        Self::new_inner(g1, g2, None)
+    }
+
+    fn new_inner(g1: &'a Graph, g2: &'a Graph, limit: Option<u64>) -> Self {
+        assert_eq!(
+            g1.num_nodes(),
+            g2.num_nodes(),
+            "snapshots must share a node universe"
+        );
+        SnapshotOracle {
+            g1,
+            g2,
+            limit,
+            phase: Phase::Generation,
+            ledger: BudgetLedger::default(),
+            rows1: HashMap::new(),
+            rows2: HashMap::new(),
+            ws: BfsWorkspace::new(),
+        }
+    }
+
+    /// The first snapshot.
+    pub fn g1(&self) -> &'a Graph {
+        self.g1
+    }
+
+    /// The second snapshot.
+    pub fn g2(&self) -> &'a Graph {
+        self.g2
+    }
+
+    /// Number of nodes in the shared universe.
+    pub fn num_nodes(&self) -> usize {
+        self.g1.num_nodes()
+    }
+
+    /// Switches the accounting bucket for subsequent computations.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The spend so far.
+    pub fn ledger(&self) -> BudgetLedger {
+        self.ledger
+    }
+
+    /// Remaining SSSP allowance (`u64::MAX` when uncapped).
+    pub fn remaining(&self) -> u64 {
+        match self.limit {
+            None => u64::MAX,
+            Some(l) => l.saturating_sub(self.ledger.total()),
+        }
+    }
+
+    /// The configured cap, if any.
+    pub fn limit(&self) -> Option<u64> {
+        self.limit
+    }
+
+    /// How many fresh SSSPs it would cost to have both rows of `u`
+    /// available (0, 1 or 2 depending on what is cached).
+    pub fn cost_of(&self, u: NodeId) -> u64 {
+        let mut c = 0;
+        if !self.rows1.contains_key(&u.0) {
+            c += 1;
+        }
+        if !self.rows2.contains_key(&u.0) {
+            c += 1;
+        }
+        c
+    }
+
+    /// Whether both rows of `u` are already cached (i.e. `u` is already a
+    /// fully paid candidate).
+    pub fn has_both(&self, u: NodeId) -> bool {
+        self.rows1.contains_key(&u.0) && self.rows2.contains_key(&u.0)
+    }
+
+    /// Nodes with both rows cached, ascending. These are exactly the nodes
+    /// whose pairs the top-k phase can evaluate.
+    pub fn fully_cached_nodes(&self) -> Vec<NodeId> {
+        let mut out: Vec<NodeId> = self
+            .rows1
+            .keys()
+            .filter(|k| self.rows2.contains_key(k))
+            .map(|&k| NodeId(k))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    fn charge(&mut self) -> Result<(), BudgetError> {
+        if let Some(limit) = self.limit {
+            if self.ledger.total() >= limit {
+                return Err(BudgetError { limit });
+            }
+        }
+        match self.phase {
+            Phase::Generation => self.ledger.generation += 1,
+            Phase::TopK => self.ledger.topk += 1,
+        }
+        Ok(())
+    }
+
+    /// The distance row of `u` in the chosen snapshot, computing (and
+    /// charging) it on first use.
+    pub fn row(&mut self, which: Snapshot, u: NodeId) -> Result<&[u32], BudgetError> {
+        let present = match which {
+            Snapshot::First => self.rows1.contains_key(&u.0),
+            Snapshot::Second => self.rows2.contains_key(&u.0),
+        };
+        if !present {
+            self.charge()?;
+            let graph = match which {
+                Snapshot::First => self.g1,
+                Snapshot::Second => self.g2,
+            };
+            let mut dist = Vec::new();
+            if graph.is_weighted() {
+                dijkstra_into(graph, u, &mut dist);
+            } else {
+                bfs_into(graph, u, &mut dist, &mut self.ws);
+            }
+            match which {
+                Snapshot::First => self.rows1.insert(u.0, dist),
+                Snapshot::Second => self.rows2.insert(u.0, dist),
+            };
+        }
+        let rows = match which {
+            Snapshot::First => &self.rows1,
+            Snapshot::Second => &self.rows2,
+        };
+        Ok(rows.get(&u.0).expect("just inserted").as_slice())
+    }
+
+    /// Both rows of `u` at once (for Δ computation).
+    pub fn rows(&mut self, u: NodeId) -> Result<(&[u32], &[u32]), BudgetError> {
+        self.row(Snapshot::First, u)?;
+        self.row(Snapshot::Second, u)?;
+        Ok((
+            self.rows1.get(&u.0).expect("cached").as_slice(),
+            self.rows2.get(&u.0).expect("cached").as_slice(),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_graph::builder::graph_from_edges;
+    use cp_graph::INF;
+
+    fn graphs() -> (Graph, Graph) {
+        let g1 = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let g2 = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (0, 4)]);
+        (g1, g2)
+    }
+
+    #[test]
+    fn counts_and_caches() {
+        let (g1, g2) = graphs();
+        let mut o = SnapshotOracle::with_budget(&g1, &g2, 4);
+        assert_eq!(o.cost_of(NodeId(0)), 2);
+        let (d1, d2) = o.rows(NodeId(0)).unwrap();
+        assert_eq!(d1[4], 4);
+        assert_eq!(d2[4], 1);
+        assert_eq!(o.ledger().total(), 2);
+        assert_eq!(o.cost_of(NodeId(0)), 0);
+        assert!(o.has_both(NodeId(0)));
+        // Cached access is free.
+        o.rows(NodeId(0)).unwrap();
+        assert_eq!(o.ledger().total(), 2);
+        assert_eq!(o.remaining(), 2);
+    }
+
+    #[test]
+    fn enforces_cap() {
+        let (g1, g2) = graphs();
+        let mut o = SnapshotOracle::with_budget(&g1, &g2, 3);
+        o.rows(NodeId(0)).unwrap(); // 2 spent
+        o.row(Snapshot::First, NodeId(1)).unwrap(); // 3 spent
+        let err = o.row(Snapshot::Second, NodeId(1)).unwrap_err();
+        assert_eq!(err, BudgetError { limit: 3 });
+        assert_eq!(o.remaining(), 0);
+        // Cached rows remain readable after exhaustion.
+        assert!(o.rows(NodeId(0)).is_ok());
+    }
+
+    #[test]
+    fn phase_accounting() {
+        let (g1, g2) = graphs();
+        let mut o = SnapshotOracle::with_budget(&g1, &g2, 10);
+        o.row(Snapshot::First, NodeId(2)).unwrap();
+        o.set_phase(Phase::TopK);
+        o.row(Snapshot::Second, NodeId(2)).unwrap();
+        let ledger = o.ledger();
+        assert_eq!(ledger.generation, 1);
+        assert_eq!(ledger.topk, 1);
+        assert_eq!(ledger.total(), 2);
+    }
+
+    #[test]
+    fn fully_cached_nodes_sorted() {
+        let (g1, g2) = graphs();
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        o.rows(NodeId(3)).unwrap();
+        o.rows(NodeId(1)).unwrap();
+        o.row(Snapshot::First, NodeId(4)).unwrap(); // only one side
+        assert_eq!(o.fully_cached_nodes(), vec![NodeId(1), NodeId(3)]);
+        assert_eq!(o.remaining(), u64::MAX);
+        assert_eq!(o.limit(), None);
+    }
+
+    #[test]
+    fn rows_reflect_each_snapshot() {
+        let g1 = graph_from_edges(3, &[(0, 1)]);
+        let g2 = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        let (d1, d2) = o.rows(NodeId(0)).unwrap();
+        assert_eq!(d1[2], INF);
+        assert_eq!(d2[2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "share a node universe")]
+    fn universe_mismatch_panics() {
+        let g1 = graph_from_edges(3, &[(0, 1)]);
+        let g2 = graph_from_edges(4, &[(0, 1)]);
+        SnapshotOracle::unbounded(&g1, &g2);
+    }
+}

@@ -1,0 +1,522 @@
+//! Classification-based selection: the local and global classifiers.
+//!
+//! All single-feature selectors can be read as *features* that correlate
+//! with membership in a cover of `G^p_k`. The classifier selectors combine
+//! them: a logistic regression is trained on an *earlier* snapshot pair
+//! (40 %/60 % of the edges) whose exact answer — and hence greedy cover —
+//! can be computed offline, and at test time nodes are ranked by the
+//! predicted probability of belonging to that cover.
+//!
+//! Per-node features (normalized to `[-1, 1]`, as in the paper):
+//! `deg_t1`, `deg_t2`, degree difference, relative degree difference, and
+//! the L1/L∞ landmark change norms for three landmark placements (random,
+//! MaxMin, MaxAvg). The **global** classifier appends graph-level features
+//! (density and max degree of both snapshots) and trains on several
+//! datasets in equal proportion, so one model serves any graph.
+//!
+//! At test time the three landmark sets cost `3 · 2l` SSSPs out of the
+//! budget (paper Table 1); training cost is offline and unbudgeted, as in
+//! the paper.
+
+use super::dispersion::{dispersion_pick, DispersionMode};
+use super::landmark::{landmark_change_scores, sample_active_nodes};
+use super::CandidateSelector;
+use crate::exact::{exact_top_k, TopKSpec};
+use crate::gpk::PairGraph;
+use crate::oracle::SnapshotOracle;
+use cp_graph::degrees::top_m_by_score_f64;
+use cp_graph::{Graph, NodeId};
+use cp_ml::{Dataset, LogisticRegression, MinMaxScaler, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of per-node features.
+pub const NODE_FEATURES: usize = 10;
+/// Number of graph-level features appended by the global classifier.
+pub const GRAPH_FEATURES: usize = 4;
+
+/// What the positive class of the classifier is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PositiveClass {
+    /// Nodes of the greedy vertex cover of the training `G^p_k`
+    /// (the paper's choice).
+    GreedyCover,
+    /// All endpoints of the training `G^p_k` (the paper reports "very
+    /// similar" results; kept as an ablation).
+    AllEndpoints,
+}
+
+/// Classifier training / inference configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ClassifierConfig {
+    /// Landmarks per placement set (`l`); three sets are used.
+    pub landmarks: usize,
+    /// The δ slack: training labels come from the pairs with
+    /// `Δ ≥ Δmax − slack` on the training snapshot pair (the paper uses
+    /// the same δ level for training and testing).
+    pub slack: u32,
+    /// Positive-class definition.
+    pub positive_class: PositiveClass,
+    /// Inverse-frequency class weighting during training. Cover nodes are
+    /// a vanishing fraction of all nodes; without reweighting the learned
+    /// probabilities are tiny but the *ranking* — all the selector needs —
+    /// is usually still usable. Defaults to `true`.
+    pub balanced: bool,
+    /// L2 regularization for the logistic regression.
+    pub l2: f64,
+    /// BFS worker threads for the offline exact computation.
+    pub threads: usize,
+}
+
+impl Default for ClassifierConfig {
+    fn default() -> Self {
+        ClassifierConfig {
+            landmarks: super::DEFAULT_LANDMARKS,
+            slack: 1,
+            positive_class: PositiveClass::GreedyCover,
+            balanced: true,
+            l2: 1e-4,
+            threads: cp_graph::apsp::default_threads(),
+        }
+    }
+}
+
+/// A per-node feature matrix over the whole node universe.
+#[derive(Clone, Debug)]
+pub struct NodeFeatures {
+    rows: Vec<f64>,
+    arity: usize,
+    n: usize,
+}
+
+impl NodeFeatures {
+    /// The feature row of node `u`.
+    pub fn row(&self, u: NodeId) -> &[f64] {
+        &self.rows[u.index() * self.arity..(u.index() + 1) * self.arity]
+    }
+
+    /// Feature arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+}
+
+/// Human-readable names of the per-node features, in row order.
+pub const NODE_FEATURE_NAMES: [&str; NODE_FEATURES] = [
+    "deg_t1",
+    "deg_t2",
+    "deg_diff",
+    "deg_rel_diff",
+    "rand_sumdiff",
+    "rand_maxdiff",
+    "maxmin_sumdiff",
+    "maxmin_maxdiff",
+    "maxavg_sumdiff",
+    "maxavg_maxdiff",
+];
+
+/// Extracts the 10 per-node features, spending up to `6l` SSSPs through
+/// the oracle (three landmark sets, two snapshots each).
+pub fn extract_node_features(
+    oracle: &mut SnapshotOracle<'_>,
+    landmarks: usize,
+    seed: u64,
+) -> NodeFeatures {
+    let n = oracle.num_nodes();
+    let g1 = oracle.g1();
+    let g2 = oracle.g2();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let rand_set = sample_active_nodes(oracle, landmarks, &mut rng);
+    let rand_scores = landmark_change_scores(oracle, &rand_set);
+    let mm_set = dispersion_pick(oracle, landmarks, DispersionMode::MaxMin);
+    let mm_scores = landmark_change_scores(oracle, &mm_set);
+    let ma_set = dispersion_pick(oracle, landmarks, DispersionMode::MaxAvg);
+    let ma_scores = landmark_change_scores(oracle, &ma_set);
+
+    let mut rows = Vec::with_capacity(n * NODE_FEATURES);
+    for i in 0..n {
+        let u = NodeId::new(i);
+        let d1 = g1.degree(u) as f64;
+        let d2 = g2.degree(u) as f64;
+        rows.extend_from_slice(&[
+            d1,
+            d2,
+            d2 - d1,
+            (d2 - d1) / d1.max(1.0),
+            rand_scores.sum[i] as f64,
+            rand_scores.max[i] as f64,
+            mm_scores.sum[i] as f64,
+            mm_scores.max[i] as f64,
+            ma_scores.sum[i] as f64,
+            ma_scores.max[i] as f64,
+        ]);
+    }
+    NodeFeatures {
+        rows,
+        arity: NODE_FEATURES,
+        n,
+    }
+}
+
+/// Graph-level features of a snapshot pair, used by the global classifier.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphLevelFeatures {
+    /// `[density_t1, density_t2, max_degree_t1, max_degree_t2]`.
+    pub values: [f64; GRAPH_FEATURES],
+}
+
+impl GraphLevelFeatures {
+    /// Computes the graph-level features of a snapshot pair.
+    pub fn of(g1: &Graph, g2: &Graph) -> Self {
+        GraphLevelFeatures {
+            values: [
+                g1.density(),
+                g2.density(),
+                g1.max_degree() as f64,
+                g2.max_degree() as f64,
+            ],
+        }
+    }
+}
+
+/// Builds the labeled training dataset for one snapshot pair: one row per
+/// *active* node of `g1`, labeled by membership in the positive set.
+fn build_training_rows(
+    g1: &Graph,
+    g2: &Graph,
+    config: &ClassifierConfig,
+    seed: u64,
+    graph_features: Option<GraphLevelFeatures>,
+) -> Dataset {
+    let exact = exact_top_k(
+        g1,
+        g2,
+        &TopKSpec::ThresholdFromMax {
+            slack: config.slack,
+        },
+        config.threads,
+    );
+    let gpk = PairGraph::new(&exact.pairs);
+    let positives: std::collections::HashSet<NodeId> = match config.positive_class {
+        PositiveClass::GreedyCover => gpk.greedy_vertex_cover().nodes.into_iter().collect(),
+        PositiveClass::AllEndpoints => gpk.endpoints().into_iter().collect(),
+    };
+    let mut oracle = SnapshotOracle::unbounded(g1, g2);
+    let features = extract_node_features(&mut oracle, config.landmarks, seed);
+    let arity = NODE_FEATURES + if graph_features.is_some() { GRAPH_FEATURES } else { 0 };
+    let mut data = Dataset::new(arity);
+    let mut row_buf = Vec::with_capacity(arity);
+    for u in g1.nodes() {
+        if g1.degree(u) == 0 {
+            continue; // not a node of V_t1
+        }
+        row_buf.clear();
+        row_buf.extend_from_slice(features.row(u));
+        if let Some(gf) = graph_features {
+            row_buf.extend_from_slice(&gf.values);
+        }
+        data.push(&row_buf, positives.contains(&u));
+    }
+    data
+}
+
+/// Subsamples `data` to `target` rows, keeping every positive row and a
+/// seeded uniform sample of the negatives ("equal proportions" across
+/// datasets for the global classifier without discarding the rare
+/// positives).
+fn equalize(data: &Dataset, target: usize, rng: &mut StdRng) -> Dataset {
+    if data.len() <= target {
+        return data.clone();
+    }
+    let mut neg_idx: Vec<usize> = (0..data.len()).filter(|&i| !data.label(i)).collect();
+    let keep_neg = target.saturating_sub(data.num_positive()).min(neg_idx.len());
+    // Partial Fisher-Yates.
+    for i in 0..keep_neg {
+        let j = rng.random_range(i..neg_idx.len());
+        neg_idx.swap(i, j);
+    }
+    let kept: std::collections::HashSet<usize> = neg_idx[..keep_neg].iter().copied().collect();
+    let mut out = Dataset::new(data.num_features());
+    for i in 0..data.len() {
+        if data.label(i) || kept.contains(&i) {
+            out.push(data.row(i), data.label(i));
+        }
+    }
+    out
+}
+
+/// The trained classifier selector (local or global).
+pub struct ClassifierSelector {
+    model: LogisticRegression,
+    scaler: MinMaxScaler,
+    config: ClassifierConfig,
+    global: bool,
+    seed: u64,
+}
+
+impl ClassifierSelector {
+    /// Trains a **local** classifier on one training snapshot pair
+    /// (typically the 40 %/60 % snapshots of the same dataset that will be
+    /// tested at 80 %/100 %).
+    pub fn train_local(
+        train_g1: &Graph,
+        train_g2: &Graph,
+        config: ClassifierConfig,
+        seed: u64,
+    ) -> Self {
+        let mut data = build_training_rows(train_g1, train_g2, &config, seed, None);
+        let scaler = MinMaxScaler::fit(&data);
+        scaler.transform(&mut data);
+        let model = Self::fit(&data, &config);
+        ClassifierSelector {
+            model,
+            scaler,
+            config,
+            global: false,
+            seed,
+        }
+    }
+
+    /// Trains a **global** classifier on several datasets' training pairs,
+    /// contributing equal row counts per dataset, with graph-level
+    /// features appended so the model can adapt to unseen graphs.
+    pub fn train_global(
+        training_pairs: &[(&Graph, &Graph)],
+        config: ClassifierConfig,
+        seed: u64,
+    ) -> Self {
+        assert!(!training_pairs.is_empty(), "need at least one dataset");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x61_0b_a1);
+        let per_dataset: Vec<Dataset> = training_pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (g1, g2))| {
+                let gf = GraphLevelFeatures::of(g1, g2);
+                build_training_rows(g1, g2, &config, seed.wrapping_add(i as u64), Some(gf))
+            })
+            .collect();
+        let target = per_dataset.iter().map(|d| d.len()).min().unwrap_or(0);
+        let mut data = Dataset::new(NODE_FEATURES + GRAPH_FEATURES);
+        for d in &per_dataset {
+            data.extend_from(&equalize(d, target, &mut rng));
+        }
+        let scaler = MinMaxScaler::fit(&data);
+        scaler.transform(&mut data);
+        let model = Self::fit(&data, &config);
+        ClassifierSelector {
+            model,
+            scaler,
+            config,
+            global: true,
+            seed,
+        }
+    }
+
+    fn fit(data: &Dataset, config: &ClassifierConfig) -> LogisticRegression {
+        let mut train_cfg = TrainConfig {
+            l2: config.l2,
+            ..TrainConfig::default()
+        };
+        if config.balanced {
+            train_cfg = train_cfg.balanced(data);
+        }
+        LogisticRegression::train(data, &train_cfg)
+    }
+
+    /// Whether this is the global variant.
+    pub fn is_global(&self) -> bool {
+        self.global
+    }
+
+    /// The underlying model (for weight inspection / ablations).
+    pub fn model(&self) -> &LogisticRegression {
+        &self.model
+    }
+}
+
+impl CandidateSelector for ClassifierSelector {
+    fn name(&self) -> String {
+        if self.global { "G-Classifier" } else { "L-Classifier" }.to_string()
+    }
+
+    fn rank(&mut self, oracle: &mut SnapshotOracle<'_>) -> Vec<NodeId> {
+        // Three landmark sets at 2l each: keep probes within half the
+        // budget.
+        let affordable = (oracle.remaining() / 12) as usize;
+        let l = self
+            .config
+            .landmarks
+            .min(affordable)
+            .max(usize::from(oracle.remaining() >= 6));
+        if l == 0 {
+            return Vec::new();
+        }
+        let features = extract_node_features(oracle, l, self.seed);
+        let gf = self
+            .global
+            .then(|| GraphLevelFeatures::of(oracle.g1(), oracle.g2()));
+        let g1 = oracle.g1();
+        let n = oracle.num_nodes();
+        let mut scores = vec![f64::NEG_INFINITY; n];
+        let mut row_buf = Vec::with_capacity(self.scaler.num_features());
+        for u in g1.nodes() {
+            if g1.degree(u) == 0 {
+                continue; // cannot be an endpoint of a connected pair in G_t1
+            }
+            row_buf.clear();
+            row_buf.extend_from_slice(features.row(u));
+            if let Some(gf) = gf {
+                row_buf.extend_from_slice(&gf.values);
+            }
+            self.scaler.transform_row(&mut row_buf);
+            scores[u.index()] = self.model.predict_proba(&row_buf);
+        }
+        top_m_by_score_f64(&scores, n)
+            .into_iter()
+            .filter(|u| scores[u.index()] > f64::NEG_INFINITY)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_graph::builder::graph_from_edges;
+
+    /// A growing graph with a clear pattern: shortcut chords appear over
+    /// time between ring positions; training and test pairs share the
+    /// mechanics so a classifier can transfer.
+    fn ring_with_chords(n: u32, chords: &[(u32, u32)]) -> Graph {
+        let mut edges: Vec<(u32, u32)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        edges.extend_from_slice(chords);
+        graph_from_edges(n as usize, &edges)
+    }
+
+    fn train_pair() -> (Graph, Graph) {
+        (
+            ring_with_chords(24, &[]),
+            ring_with_chords(24, &[(0, 12), (5, 17)]),
+        )
+    }
+
+    fn test_pair() -> (Graph, Graph) {
+        (
+            ring_with_chords(24, &[(0, 12), (5, 17)]),
+            ring_with_chords(24, &[(0, 12), (5, 17), (3, 15), (8, 20)]),
+        )
+    }
+
+    fn config() -> ClassifierConfig {
+        ClassifierConfig {
+            landmarks: 3,
+            slack: 1,
+            threads: 2,
+            ..ClassifierConfig::default()
+        }
+    }
+
+    #[test]
+    fn local_classifier_trains_and_ranks() {
+        let (tg1, tg2) = train_pair();
+        let mut sel = ClassifierSelector::train_local(&tg1, &tg2, config(), 1);
+        assert_eq!(sel.name(), "L-Classifier");
+        assert!(!sel.is_global());
+        let (g1, g2) = test_pair();
+        let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 60);
+        let ranked = sel.rank(&mut oracle);
+        assert!(!ranked.is_empty());
+        // Feature probes stay within budget (3 sets * 2 * l <= 18).
+        assert!(oracle.ledger().generation <= 18);
+        // New chord endpoints should rank well: check at least one of
+        // {3, 15, 8, 20} in the top quarter.
+        let top: Vec<NodeId> = ranked[..6].to_vec();
+        assert!(
+            top.iter().any(|u| [3u32, 15, 8, 20].contains(&u.0)),
+            "top6 {top:?}"
+        );
+    }
+
+    #[test]
+    fn global_classifier_trains_on_multiple_pairs() {
+        let (a1, a2) = train_pair();
+        let b1 = ring_with_chords(16, &[]);
+        let b2 = ring_with_chords(16, &[(0, 8)]);
+        let mut sel =
+            ClassifierSelector::train_global(&[(&a1, &a2), (&b1, &b2)], config(), 2);
+        assert_eq!(sel.name(), "G-Classifier");
+        assert!(sel.is_global());
+        let (g1, g2) = test_pair();
+        let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 60);
+        let ranked = sel.rank(&mut oracle);
+        assert!(!ranked.is_empty());
+        assert_eq!(
+            sel.model().weights().len(),
+            NODE_FEATURES + GRAPH_FEATURES
+        );
+    }
+
+    #[test]
+    fn tiny_budget_degrades_gracefully() {
+        let (tg1, tg2) = train_pair();
+        let mut sel = ClassifierSelector::train_local(&tg1, &tg2, config(), 1);
+        let (g1, g2) = test_pair();
+        let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 2);
+        let _ = sel.rank(&mut oracle); // must not panic
+        assert!(oracle.ledger().total() <= 2);
+    }
+
+    #[test]
+    fn feature_extraction_charges_six_l() {
+        let (g1, g2) = test_pair();
+        let mut oracle = SnapshotOracle::unbounded(&g1, &g2);
+        let f = extract_node_features(&mut oracle, 4, 0);
+        // At most 6l; overlapping landmark sets share cached rows so the
+        // actual spend can be lower (the paper's 3·2l is the worst case).
+        let spent = oracle.ledger().total();
+        assert!(spent > 0 && spent <= 6 * 4, "spent {spent}");
+        assert_eq!(f.arity(), NODE_FEATURES);
+        assert_eq!(f.num_nodes(), 24);
+        assert_eq!(NODE_FEATURE_NAMES.len(), NODE_FEATURES);
+    }
+
+    #[test]
+    fn equalize_keeps_positives() {
+        let mut d = Dataset::new(1);
+        for i in 0..50 {
+            d.push(&[i as f64], i < 3); // 3 positives
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let small = equalize(&d, 10, &mut rng);
+        assert_eq!(small.len(), 10);
+        assert_eq!(small.num_positive(), 3);
+        // Target larger than data: unchanged.
+        let same = equalize(&d, 100, &mut rng);
+        assert_eq!(same.len(), 50);
+    }
+
+    #[test]
+    fn endpoint_positive_class_works() {
+        let (tg1, tg2) = train_pair();
+        let cfg = ClassifierConfig {
+            positive_class: PositiveClass::AllEndpoints,
+            ..config()
+        };
+        let sel = ClassifierSelector::train_local(&tg1, &tg2, cfg, 1);
+        assert_eq!(sel.model().weights().len(), NODE_FEATURES);
+    }
+
+    #[test]
+    fn graph_level_features_sane() {
+        let (g1, g2) = test_pair();
+        let gf = GraphLevelFeatures::of(&g1, &g2);
+        assert!(gf.values[0] > 0.0 && gf.values[0] < 1.0);
+        assert!(gf.values[1] >= gf.values[0]); // densification
+        assert!(gf.values[3] >= gf.values[2]); // max degree grows
+    }
+}

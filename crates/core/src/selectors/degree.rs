@@ -1,0 +1,96 @@
+//! Centrality-based selection: Degree, DegDiff, DegRel.
+//!
+//! These spend nothing on probes — degrees are free — so all `2m` SSSPs go
+//! to candidates. The paper finds them weak almost everywhere (high-degree
+//! nodes are already central, so their shortest paths were short to begin
+//! with), *except* DegRel on dense clique-projection graphs like Actors.
+
+use super::CandidateSelector;
+use crate::oracle::SnapshotOracle;
+use cp_graph::degrees::{degree_diff, degree_rel_diff, degree_vector, top_m_by_score_f64, top_m_by_score_u32};
+use cp_graph::NodeId;
+
+/// The three degree-based rankings.
+#[derive(Clone, Copy, Debug)]
+pub enum DegreeSelector {
+    /// Rank by `deg_t1`.
+    Degree,
+    /// Rank by `deg_t2 − deg_t1`.
+    DegDiff,
+    /// Rank by `(deg_t2 − deg_t1) / deg_t1`.
+    DegRel,
+}
+
+impl CandidateSelector for DegreeSelector {
+    fn name(&self) -> String {
+        match self {
+            DegreeSelector::Degree => "Degree",
+            DegreeSelector::DegDiff => "DegDiff",
+            DegreeSelector::DegRel => "DegRel",
+        }
+        .to_string()
+    }
+
+    fn rank(&mut self, oracle: &mut SnapshotOracle<'_>) -> Vec<NodeId> {
+        let n = oracle.num_nodes();
+        match self {
+            DegreeSelector::Degree => {
+                let scores = degree_vector(oracle.g1());
+                top_m_by_score_u32(&scores, n)
+            }
+            DegreeSelector::DegDiff => {
+                let scores = degree_diff(oracle.g1(), oracle.g2());
+                top_m_by_score_u32(&scores, n)
+            }
+            DegreeSelector::DegRel => {
+                let scores = degree_rel_diff(oracle.g1(), oracle.g2());
+                top_m_by_score_f64(&scores, n)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_graph::builder::graph_from_edges;
+
+    #[test]
+    fn degree_ranks_hubs_first() {
+        let g1 = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (3, 4)]);
+        let g2 = g1.clone();
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        let ranked = DegreeSelector::Degree.rank(&mut o);
+        assert_eq!(ranked[0], NodeId(0)); // degree 3
+        assert_eq!(ranked[1], NodeId(3)); // degree 2
+        // No SSSPs spent.
+        assert_eq!(o.ledger().total(), 0);
+    }
+
+    #[test]
+    fn degdiff_ranks_by_growth() {
+        let g1 = graph_from_edges(4, &[(0, 1)]);
+        let g2 = graph_from_edges(4, &[(0, 1), (2, 3), (2, 0), (2, 1)]);
+        let g2b = g2.clone();
+        let mut o = SnapshotOracle::unbounded(&g1, &g2b);
+        let ranked = DegreeSelector::DegDiff.rank(&mut o);
+        assert_eq!(ranked[0], NodeId(2)); // gained 3 edges
+    }
+
+    #[test]
+    fn degrel_prefers_relative_growth() {
+        // Node 0: degree 10 -> 11 (rel 0.1); node 5: degree 1 -> 3 (rel 2).
+        let mut e1: Vec<(u32, u32)> = (1..11).map(|i| (0, i)).collect();
+        e1.push((5, 11));
+        let mut e2 = e1.clone();
+        e2.push((0, 12));
+        e2.push((5, 12));
+        e2.push((5, 13));
+        let g1 = graph_from_edges(14, &e1);
+        let g2 = graph_from_edges(14, &e2);
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        let ranked = DegreeSelector::DegRel.rank(&mut o);
+        let pos = |n: NodeId| ranked.iter().position(|&x| x == n).unwrap();
+        assert!(pos(NodeId(5)) < pos(NodeId(0)));
+    }
+}

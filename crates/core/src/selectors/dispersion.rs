@@ -1,0 +1,224 @@
+//! Dispersion-based selection: MaxMin and MaxAvg greedy.
+//!
+//! Both pick nodes of `G_t1` that are far apart from each other. Each pick
+//! costs one BFS in `G_t1` (equations (1)/(2) of the paper are NP-hard to
+//! optimize, so the standard greedy is used); those rows stay cached in the
+//! oracle, so a dispersion-selected candidate later costs only its `G_t2`
+//! row — the (m, m) budget split of Table 1.
+//!
+//! Unreachable distances are clamped to `n` (larger than any real
+//! distance), which makes the greedy hop across connected components first
+//! — the "covering" behaviour the paper ascribes to MaxMin.
+
+use super::CandidateSelector;
+use crate::oracle::{Snapshot, SnapshotOracle};
+use cp_graph::{NodeId, INF};
+
+/// Which dispersion objective the greedy maximizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DispersionMode {
+    /// Maximize the minimum distance to the already selected set
+    /// (farthest-point traversal; covers the graph).
+    MaxMin,
+    /// Maximize the average distance to the already selected set
+    /// (prefers peripheral nodes).
+    MaxAvg,
+}
+
+/// Greedily picks `count` dispersed nodes of `G_t1`, spending one SSSP per
+/// pick through the oracle. The first pick is the maximum-degree node
+/// (deterministic, and a sensible BFS root). Returns fewer nodes if the
+/// budget runs out first.
+pub fn dispersion_pick(
+    oracle: &mut SnapshotOracle<'_>,
+    count: usize,
+    mode: DispersionMode,
+) -> Vec<NodeId> {
+    let n = oracle.num_nodes();
+    let count = count.min(n);
+    if count == 0 || n == 0 {
+        return Vec::new();
+    }
+    let g1 = oracle.g1();
+    let clamp = n as u32; // stand-in for "unreachable", beats any real distance
+    // Only nodes of V_t1 (active in the first snapshot) may be picked:
+    // nodes that arrive later are isolated in G_t1 and would otherwise
+    // win every dispersion argmax at distance "infinity" while being
+    // useless both as landmarks and as candidates.
+    let eligible: Vec<bool> = g1.nodes().map(|u| g1.degree(u) > 0).collect();
+    if !eligible.iter().any(|&e| e) {
+        return Vec::new();
+    }
+    let count = count.min(eligible.iter().filter(|&&e| e).count());
+    let start = g1
+        .nodes()
+        .filter(|&u| eligible[u.index()])
+        .max_by_key(|&u| (g1.degree(u), std::cmp::Reverse(u)))
+        .expect("checked non-empty");
+
+    let mut picked: Vec<NodeId> = Vec::with_capacity(count);
+    let mut selected = vec![false; n];
+    // MaxMin: min distance to the picked set. MaxAvg: sum of distances.
+    let mut agg: Vec<u64> = vec![
+        match mode {
+            DispersionMode::MaxMin => u64::MAX,
+            DispersionMode::MaxAvg => 0,
+        };
+        n
+    ];
+
+    let mut next = start;
+    while picked.len() < count {
+        let Ok(row) = oracle.row(Snapshot::First, next) else {
+            break; // budget exhausted: return what we have
+        };
+        // Fold this pick's distances into the aggregate, then release the
+        // borrow before scanning for the argmax.
+        for i in 0..n {
+            let d = if row[i] == INF { clamp } else { row[i] } as u64;
+            match mode {
+                DispersionMode::MaxMin => agg[i] = agg[i].min(d),
+                DispersionMode::MaxAvg => agg[i] += d,
+            }
+        }
+        selected[next.index()] = true;
+        picked.push(next);
+        if picked.len() == count {
+            break;
+        }
+        // Argmax of the aggregate over unselected nodes; smaller id wins
+        // ties for determinism.
+        let mut best: Option<(u64, NodeId)> = None;
+        for i in 0..n {
+            if selected[i] || !eligible[i] {
+                continue;
+            }
+            let score = agg[i];
+            if best.map(|(s, b)| score > s || (score == s && NodeId::new(i) < b)).unwrap_or(true) {
+                best = Some((score, NodeId::new(i)));
+            }
+        }
+        match best {
+            Some((_, b)) => next = b,
+            None => break,
+        }
+    }
+    picked
+}
+
+/// The MaxMin / MaxAvg candidate selectors.
+#[derive(Clone, Copy, Debug)]
+pub struct DispersionSelector {
+    mode: DispersionMode,
+}
+
+impl DispersionSelector {
+    /// Creates a selector with the given objective.
+    pub fn new(mode: DispersionMode) -> Self {
+        DispersionSelector { mode }
+    }
+}
+
+impl CandidateSelector for DispersionSelector {
+    fn name(&self) -> String {
+        match self.mode {
+            DispersionMode::MaxMin => "MaxMin",
+            DispersionMode::MaxAvg => "MaxAvg",
+        }
+        .to_string()
+    }
+
+    fn rank(&mut self, oracle: &mut SnapshotOracle<'_>) -> Vec<NodeId> {
+        // Each pick costs 1 SSSP now (G_t1) and 1 later (G_t2), so with a
+        // remaining budget B we can afford B / 2 picks.
+        let affordable = (oracle.remaining() / 2) as usize;
+        dispersion_pick(oracle, affordable, self.mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_graph::builder::graph_from_edges;
+
+    /// Path 0-1-2-3-4-5-6.
+    fn path7() -> cp_graph::Graph {
+        graph_from_edges(7, &(0..6).map(|i| (i, i + 1)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn maxmin_spreads_over_path() {
+        let g = path7();
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::unbounded(&g, &g2);
+        let picks = dispersion_pick(&mut o, 3, DispersionMode::MaxMin);
+        // Start: max degree is 1 (degree 2, smallest id among internal).
+        assert_eq!(picks[0], NodeId(1));
+        // Farthest from 1 is 6; then farthest-from-{1,6} is 3 (min dist 2..3).
+        assert_eq!(picks[1], NodeId(6));
+        // min distances to {1,6}: node 0:1, 2:1, 3:2&3->2, 4:2, hmm 4: d(4,1)=3,d(4,6)=2 -> 2; 3: d=2,3 -> 2. Tie between 3 and 4 -> smaller id.
+        assert_eq!(picks[2], NodeId(3));
+        assert_eq!(o.ledger().generation, 3);
+    }
+
+    #[test]
+    fn maxavg_prefers_periphery() {
+        let g = path7();
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::unbounded(&g, &g2);
+        let picks = dispersion_pick(&mut o, 3, DispersionMode::MaxAvg);
+        assert_eq!(picks[0], NodeId(1));
+        assert_eq!(picks[1], NodeId(6)); // max avg distance from 1
+        // Next maximizes d(.,1)+d(.,6): node 0: 1+6=7. -> endpoint again.
+        assert_eq!(picks[2], NodeId(0));
+    }
+
+    #[test]
+    fn hops_across_components_first() {
+        // Two components: triangle {0,1,2} and edge {3,4}.
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (0, 2), (3, 4)]);
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::unbounded(&g, &g2);
+        let picks = dispersion_pick(&mut o, 2, DispersionMode::MaxMin);
+        // Second pick must jump to the other component (clamped distance n).
+        assert!(picks[1].index() >= 3, "picked {:?}", picks);
+    }
+
+    #[test]
+    fn count_clipped_to_n() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::unbounded(&g, &g2);
+        let picks = dispersion_pick(&mut o, 100, DispersionMode::MaxMin);
+        assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_partial() {
+        let g = path7();
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::with_budget(&g, &g2, 2);
+        let picks = dispersion_pick(&mut o, 5, DispersionMode::MaxMin);
+        assert_eq!(picks.len(), 2);
+    }
+
+    #[test]
+    fn selector_halves_budget() {
+        let g = path7();
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::with_budget(&g, &g2, 6);
+        let mut sel = DispersionSelector::new(DispersionMode::MaxAvg);
+        let ranked = sel.rank(&mut o);
+        assert_eq!(ranked.len(), 3); // 6 / 2
+        assert_eq!(o.ledger().generation, 3);
+        assert_eq!(sel.name(), "MaxAvg");
+    }
+
+    #[test]
+    fn zero_count() {
+        let g = path7();
+        let g2 = g.clone();
+        let mut o = SnapshotOracle::unbounded(&g, &g2);
+        assert!(dispersion_pick(&mut o, 0, DispersionMode::MaxMin).is_empty());
+    }
+}

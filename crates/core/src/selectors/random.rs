@@ -1,0 +1,69 @@
+//! Uniform-random candidate selection — the sanity-check control.
+//!
+//! Not part of the paper's suite, but indispensable for interpreting the
+//! coverage numbers: any selector worth its SSSPs must beat sampling `m`
+//! active nodes uniformly.
+
+use super::landmark::sample_active_nodes;
+use super::CandidateSelector;
+use crate::oracle::SnapshotOracle;
+use cp_graph::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Ranks a uniform random permutation of the active nodes of `G_t1`.
+pub struct RandomSelector {
+    rng: StdRng,
+}
+
+impl RandomSelector {
+    /// Creates a seeded random selector.
+    pub fn new(seed: u64) -> Self {
+        RandomSelector {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl CandidateSelector for RandomSelector {
+    fn name(&self) -> String {
+        "Random".to_string()
+    }
+
+    fn rank(&mut self, oracle: &mut SnapshotOracle<'_>) -> Vec<NodeId> {
+        let n = oracle.num_nodes();
+        sample_active_nodes(oracle, n, &mut self.rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cp_graph::builder::graph_from_edges;
+
+    #[test]
+    fn permutes_active_nodes() {
+        let g1 = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4)]); // 5 isolated
+        let g2 = g1.clone();
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        let mut sel = RandomSelector::new(9);
+        let ranked = sel.rank(&mut o);
+        assert_eq!(ranked.len(), 5); // node 5 is inactive
+        let mut sorted = ranked.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(o.ledger().total(), 0);
+        assert_eq!(sel.name(), "Random");
+    }
+
+    #[test]
+    fn seeded_determinism() {
+        let g1 = graph_from_edges(10, &(0..9).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let g2 = g1.clone();
+        let mut o1 = SnapshotOracle::unbounded(&g1, &g2);
+        let mut o2 = SnapshotOracle::unbounded(&g1, &g2);
+        let a = RandomSelector::new(4).rank(&mut o1);
+        let b = RandomSelector::new(4).rank(&mut o2);
+        assert_eq!(a, b);
+    }
+}

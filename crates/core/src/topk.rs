@@ -1,0 +1,238 @@
+//! The generic budgeted top-k pipeline (Algorithm 1 of the paper).
+//!
+//! 1. A [`CandidateSelector`] ranks candidate endpoints, spending part of
+//!    the SSSP budget on whatever structural probes it needs (landmark
+//!    rows, dispersion picks, classifier features).
+//! 2. The pipeline pays for the distance rows of candidates, in rank
+//!    order, in both snapshots, until the `2m` budget is exhausted. Rows
+//!    the selector already computed are free — this is how dispersion
+//!    reuses its `G_t1` rows and why hybrid landmarks "come for free" as
+//!    candidates.
+//! 3. Every pair in `M × V` gets its Δ computed from the candidate rows;
+//!    the pairs matching the [`TopKSpec`] are returned.
+
+use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
+use crate::oracle::{BudgetLedger, Phase, SnapshotOracle};
+use crate::selectors::CandidateSelector;
+use cp_graph::{distance_decrease, Graph, NodeId};
+use std::collections::HashSet;
+
+/// Output of a budgeted run.
+#[derive(Clone, Debug)]
+pub struct BudgetedResult {
+    /// The pairs found, canonically sorted (descending Δ, ascending ids).
+    pub pairs: Vec<ConvergingPair>,
+    /// The candidate endpoints `M` whose rows were fully paid for, in
+    /// ascending id order.
+    pub candidates: Vec<NodeId>,
+    /// The SSSP spend, split by phase (compare with the paper's Table 1).
+    pub budget: BudgetLedger,
+}
+
+impl BudgetedResult {
+    /// The found pairs as a set of normalized endpoint tuples.
+    pub fn pair_set(&self) -> HashSet<(NodeId, NodeId)> {
+        self.pairs.iter().map(|p| p.pair).collect()
+    }
+}
+
+/// Runs the budgeted pipeline with a budget of `2 * m` SSSP computations.
+///
+/// `m` is the paper's candidate budget: the number of nodes whose
+/// single-source shortest paths can be afforded in both snapshots.
+pub fn budgeted_top_k(
+    g1: &Graph,
+    g2: &Graph,
+    selector: &mut dyn CandidateSelector,
+    m: u64,
+    spec: &TopKSpec,
+) -> BudgetedResult {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m);
+    run_pipeline(&mut oracle, selector, spec)
+}
+
+/// Runs the pipeline on a pre-built oracle (callers control the cap; the
+/// unbudgeted Incidence baseline passes an unbounded oracle).
+pub fn run_pipeline(
+    oracle: &mut SnapshotOracle<'_>,
+    selector: &mut dyn CandidateSelector,
+    spec: &TopKSpec,
+) -> BudgetedResult {
+    let ranked = selector.rank(oracle);
+    oracle.set_phase(Phase::TopK);
+
+    for u in ranked {
+        if oracle.g1().degree(u) == 0 {
+            // Not a node of V_t1: it cannot be the endpoint of a pair
+            // connected in G_t1, so rows from it would be pure waste.
+            continue;
+        }
+        let cost = oracle.cost_of(u);
+        if cost == 0 {
+            continue; // already fully cached (e.g. a landmark)
+        }
+        if oracle.remaining() < cost {
+            // A later, partially cached candidate might still fit, so keep
+            // scanning instead of stopping outright; `cost_of` checks are
+            // free.
+            continue;
+        }
+        // Both rows fit; errors cannot occur after the check above.
+        oracle
+            .rows(u)
+            .expect("budget checked before computing rows");
+    }
+
+    let candidates = oracle.fully_cached_nodes();
+    let pairs = pairs_from_candidates(oracle, &candidates, spec);
+    BudgetedResult {
+        pairs,
+        candidates,
+        budget: oracle.ledger(),
+    }
+}
+
+/// Computes the Δ values of all pairs `M × V` from cached candidate rows
+/// and cuts them per `spec`.
+fn pairs_from_candidates(
+    oracle: &mut SnapshotOracle<'_>,
+    candidates: &[NodeId],
+    spec: &TopKSpec,
+) -> Vec<ConvergingPair> {
+    // First resolve the Δ floor. For ThresholdFromMax the max is taken over
+    // the pairs *visible to this run* (the exact Δmax is unknown within the
+    // budget; evaluation harnesses pass an explicit Threshold from the
+    // exact baseline instead).
+    let mut all: Vec<ConvergingPair> = Vec::new();
+    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut observed_max = 0u32;
+    for &u in candidates {
+        let (d1, d2) = oracle.rows(u).expect("candidate rows are cached");
+        for v_idx in 0..d1.len() {
+            if v_idx == u.index() {
+                continue;
+            }
+            let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
+                continue;
+            };
+            if delta == 0 {
+                continue;
+            }
+            observed_max = observed_max.max(delta);
+            let p = ConvergingPair::new(u, NodeId::new(v_idx), delta);
+            if seen.insert(p.pair) {
+                all.push(p);
+            }
+        }
+    }
+    let floor = match spec {
+        TopKSpec::Threshold { delta_min } => (*delta_min).max(1),
+        TopKSpec::ThresholdFromMax { slack } => observed_max.saturating_sub(*slack).max(1),
+        TopKSpec::TopK(_) => 1,
+    };
+    all.retain(|p| p.delta >= floor);
+    sort_pairs(&mut all);
+    if let TopKSpec::TopK(k) = spec {
+        all.truncate(*k);
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_top_k;
+    use crate::selectors::SelectorKind;
+    use cp_graph::builder::graph_from_edges;
+
+    /// Path 0..=7 plus a late chord (0,7) and (2,6).
+    fn graphs() -> (Graph, Graph) {
+        let base: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        let g1 = graph_from_edges(8, &base);
+        let mut all = base;
+        all.push((0, 7));
+        all.push((2, 6));
+        let g2 = graph_from_edges(8, &all);
+        (g1, g2)
+    }
+
+    #[test]
+    fn full_budget_recovers_exact_answer() {
+        let (g1, g2) = graphs();
+        let exact = exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 2);
+        // Budget m = n: every node can be a candidate -> full recovery,
+        // regardless of selector.
+        for kind in [SelectorKind::Degree, SelectorKind::MaxAvg, SelectorKind::Random] {
+            let mut sel = kind.build(1);
+            let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 8, &exact.spec());
+            assert_eq!(
+                res.pair_set(),
+                exact.pair_set(),
+                "selector {}",
+                sel.name()
+            );
+        }
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let (g1, g2) = graphs();
+        for m in [1u64, 2, 3, 5] {
+            let mut sel = SelectorKind::Degree.build(0);
+            let res = budgeted_top_k(&g1, &g2, sel.as_mut(), m, &TopKSpec::TopK(10));
+            assert!(
+                res.budget.total() <= 2 * m,
+                "m={m}: spent {}",
+                res.budget.total()
+            );
+            assert!(res.candidates.len() as u64 <= m);
+        }
+    }
+
+    #[test]
+    fn found_pairs_all_touch_candidates() {
+        let (g1, g2) = graphs();
+        let mut sel = SelectorKind::MaxMin.build(0);
+        let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 3, &TopKSpec::TopK(100));
+        let cand: HashSet<NodeId> = res.candidates.iter().copied().collect();
+        for p in &res.pairs {
+            assert!(cand.contains(&p.pair.0) || cand.contains(&p.pair.1));
+        }
+    }
+
+    #[test]
+    fn deltas_are_correct() {
+        let (g1, g2) = graphs();
+        let exact = exact_top_k(&g1, &g2, &TopKSpec::Threshold { delta_min: 1 }, 2);
+        let truth: std::collections::HashMap<_, _> =
+            exact.pairs.iter().map(|p| (p.pair, p.delta)).collect();
+        let mut sel = SelectorKind::MaxAvg.build(0);
+        let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 4, &TopKSpec::Threshold { delta_min: 1 });
+        assert!(!res.pairs.is_empty());
+        for p in &res.pairs {
+            assert_eq!(truth.get(&p.pair), Some(&p.delta), "pair {:?}", p.pair);
+        }
+    }
+
+    #[test]
+    fn zero_budget_yields_nothing() {
+        let (g1, g2) = graphs();
+        let mut sel = SelectorKind::Degree.build(0);
+        let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 0, &TopKSpec::TopK(5));
+        assert!(res.pairs.is_empty());
+        assert!(res.candidates.is_empty());
+        assert_eq!(res.budget.total(), 0);
+    }
+
+    #[test]
+    fn pairs_sorted_canonically() {
+        let (g1, g2) = graphs();
+        let mut sel = SelectorKind::MaxAvg.build(0);
+        let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 8, &TopKSpec::Threshold { delta_min: 1 });
+        for w in res.pairs.windows(2) {
+            assert!(
+                w[0].delta > w[1].delta || (w[0].delta == w[1].delta && w[0].pair < w[1].pair)
+            );
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Core-and-tendril topology with rescue peering — the Internet emulator.
+//!
+//! The AS-level Internet is a *compact* preferential-attachment core (most
+//! ASes are 2–4 hops from a tier-1 hub) decorated with **tendrils**: chains
+//! and bushes of customer ASes hanging off regional providers, which is
+//! where the graph's 8–11-hop diameter lives. Its convergence events are
+//! equally asymmetric: when a deep customer AS buys transit from a core
+//! provider (a "rescue" peering link), its whole subtree collapses toward
+//! *everything* — one event creates hundreds of top-Δ pairs that share a
+//! handful of tendril-side endpoints. That concentration is exactly what
+//! the paper's Table 3 shows (thousands of pairs, greedy covers of tens)
+//! and what lets m = 100 SSSP sources cover >90 % of the top pairs.
+//!
+//! The generator grows three event classes, interleaved in one stream:
+//!
+//! * **core growth** — new node attaches `core_degree` edges
+//!   preferentially within the core;
+//! * **tendril growth** — new node extends a tendril (attaches to its tip
+//!   with probability `tip_prob`, else branches off a random member), or
+//!   starts a new tendril at a random core node;
+//! * **rescue peering** — an existing tendril node links to a
+//!   preferentially chosen core node; rare, and the deepest rescues in the
+//!   stream's tail are the top converging events.
+
+use cp_graph::{NodeId, TemporalGraph};
+use rand::Rng;
+
+/// Parameters of the core-tendril model.
+#[derive(Clone, Copy, Debug)]
+pub struct CoreTendrilParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Fraction of arriving nodes that join tendrils instead of the core.
+    pub tendril_frac: f64,
+    /// Preferential attachments per core node.
+    pub core_degree: usize,
+    /// Probability a tendril-joining node extends the current tip (depth)
+    /// rather than branching off a random tendril member (bushiness).
+    pub tip_prob: f64,
+    /// Probability an arriving tendril node starts a *new* tendril.
+    pub new_tendril_prob: f64,
+    /// Maximum tendril length; full tendrils are retired and a fresh one
+    /// is started instead (real stub chains are 1-4 ASes deep — without a
+    /// cap the oldest tendrils keep growing and the diameter explodes).
+    pub max_tendril_len: usize,
+    /// Expected number of rescue-peering events per 1000 stream events.
+    pub rescues_per_mille: f64,
+    /// Extra densification: fraction of stream events that are ordinary
+    /// core-core peering links (keeps the edge count at AS-graph levels
+    /// without touching distances much).
+    pub core_peering_frac: f64,
+}
+
+impl Default for CoreTendrilParams {
+    fn default() -> Self {
+        CoreTendrilParams {
+            n: 25_500,
+            tendril_frac: 0.4,
+            core_degree: 3,
+            tip_prob: 0.7,
+            new_tendril_prob: 0.12,
+            max_tendril_len: 5,
+            rescues_per_mille: 8.0,
+            core_peering_frac: 0.4,
+        }
+    }
+}
+
+/// Generates a core-tendril temporal graph (see module docs).
+pub fn core_tendril<R: Rng>(params: CoreTendrilParams, rng: &mut R) -> TemporalGraph {
+    let CoreTendrilParams {
+        n,
+        tendril_frac,
+        core_degree,
+        tip_prob,
+        new_tendril_prob,
+        max_tendril_len,
+        rescues_per_mille,
+        core_peering_frac,
+    } = params;
+    assert!(n >= 4);
+    assert!((0.0..1.0).contains(&tendril_frac));
+    assert!(core_degree >= 1);
+    assert!((0.0..=1.0).contains(&tip_prob));
+    assert!((0.0..=1.0).contains(&new_tendril_prob));
+    assert!(max_tendril_len >= 1);
+    assert!(rescues_per_mille >= 0.0);
+    assert!((0.0..1.0).contains(&core_peering_frac));
+
+    // Core arc multiset for preferential draws.
+    let mut core_arcs: Vec<u32> = vec![0, 1];
+    let mut edges: Vec<(NodeId, NodeId)> = vec![(NodeId(0), NodeId(1))];
+    // Tendrils: per-tendril member list; the last member is the tip.
+    let mut tendrils: Vec<Vec<u32>> = Vec::new();
+    let mut all_tendril_nodes: Vec<u32> = Vec::new();
+    let mut peering_count = 0usize;
+    let mut rescue_budget = 0.0f64;
+
+    let push_core_arc = |arcs: &mut Vec<u32>, u: u32, v: u32| {
+        arcs.push(u);
+        arcs.push(v);
+    };
+
+    for new in 2..n as u32 {
+        let edges_before = edges.len();
+        let is_tendril = rng.random::<f64>() < tendril_frac && !core_arcs.is_empty();
+        if is_tendril {
+            // Join a tendril (or start one at a random core node). Full
+            // tendrils are skipped; if every open tendril is full a new
+            // one starts.
+            tendrils.retain(|t| t.len() < max_tendril_len);
+            let start_new = tendrils.is_empty() || rng.random::<f64>() < new_tendril_prob;
+            if start_new {
+                let root = core_arcs[rng.random_range(0..core_arcs.len())];
+                edges.push((NodeId(new), NodeId(root)));
+                tendrils.push(vec![new]);
+            } else {
+                let t = rng.random_range(0..tendrils.len());
+                let anchor = if rng.random::<f64>() < tip_prob {
+                    *tendrils[t].last().expect("tendril non-empty")
+                } else {
+                    tendrils[t][rng.random_range(0..tendrils[t].len())]
+                };
+                edges.push((NodeId(new), NodeId(anchor)));
+                tendrils[t].push(new);
+            }
+            all_tendril_nodes.push(new);
+        } else {
+            // Core growth: preferential attachments within the core.
+            let mut targets: Vec<u32> = Vec::with_capacity(core_degree);
+            let mut attempts = 0;
+            while targets.len() < core_degree && attempts < 64 {
+                attempts += 1;
+                let pick = core_arcs[rng.random_range(0..core_arcs.len())];
+                if pick != new && !targets.contains(&pick) {
+                    targets.push(pick);
+                }
+            }
+            for &t in &targets {
+                edges.push((NodeId(new), NodeId(t)));
+                push_core_arc(&mut core_arcs, new, t);
+            }
+        }
+
+        // Ordinary core-core peering keeps density realistic.
+        let mut guard = 0;
+        while (peering_count as f64) < core_peering_frac * edges.len() as f64 && guard < 100 {
+            guard += 1;
+            let u = core_arcs[rng.random_range(0..core_arcs.len())];
+            let v = core_arcs[rng.random_range(0..core_arcs.len())];
+            if u == v {
+                continue;
+            }
+            edges.push((NodeId(u), NodeId(v)));
+            push_core_arc(&mut core_arcs, u, v);
+            peering_count += 1;
+        }
+
+        // Rescue peering: a tendril node links into the core, at an
+        // expected rate of `rescues_per_mille` per 1000 stream events.
+        rescue_budget += rescues_per_mille * (edges.len() - edges_before) as f64 / 1000.0;
+        while rescue_budget >= 1.0 && !all_tendril_nodes.is_empty() {
+            rescue_budget -= 1.0;
+            let u = all_tendril_nodes[rng.random_range(0..all_tendril_nodes.len())];
+            let v = core_arcs[rng.random_range(0..core_arcs.len())];
+            if u == v {
+                continue;
+            }
+            edges.push((NodeId(u), NodeId(v)));
+            // The rescued node behaves like core from now on.
+            push_core_arc(&mut core_arcs, u, v);
+        }
+    }
+    TemporalGraph::from_sequence(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use cp_graph::components::components;
+    use cp_graph::diameter::diameter_estimate;
+
+    fn params() -> CoreTendrilParams {
+        CoreTendrilParams {
+            n: 3_000,
+            ..CoreTendrilParams::default()
+        }
+    }
+
+    #[test]
+    fn connected_and_valid() {
+        let t = core_tendril(params(), &mut seeded_rng(1));
+        let g = t.snapshot_at_fraction(1.0);
+        g.check_invariants().unwrap();
+        assert_eq!(components(&g).num_components(), 1);
+    }
+
+    #[test]
+    fn tendrils_stretch_the_diameter() {
+        let with = core_tendril(params(), &mut seeded_rng(2)).snapshot_at_fraction(1.0);
+        let without = core_tendril(
+            CoreTendrilParams {
+                tendril_frac: 0.0,
+                ..params()
+            },
+            &mut seeded_rng(2),
+        )
+        .snapshot_at_fraction(1.0);
+        assert!(
+            diameter_estimate(&with) > diameter_estimate(&without),
+            "with {} vs without {}",
+            diameter_estimate(&with),
+            diameter_estimate(&without)
+        );
+    }
+
+    #[test]
+    fn rescues_collapse_distances() {
+        // Between the 80% and 100% snapshots, some pair must converge by
+        // several hops (a rescued tendril).
+        use cp_graph::bfs::bfs;
+        use cp_graph::distance_decrease;
+        let t = core_tendril(params(), &mut seeded_rng(3));
+        let (g1, g2) = t.snapshot_pair(0.8, 1.0);
+        let mut best = 0u32;
+        for s in (0..g1.num_nodes()).step_by(17) {
+            let d1 = bfs(&g1, NodeId::new(s));
+            let d2 = bfs(&g2, NodeId::new(s));
+            for v in 0..g1.num_nodes() {
+                if let Some(d) = distance_decrease(d1[v], d2[v]) {
+                    best = best.max(d);
+                }
+            }
+        }
+        assert!(best >= 3, "largest sampled decrease only {best}");
+    }
+
+    #[test]
+    fn heavy_tailed_core() {
+        let g = core_tendril(params(), &mut seeded_rng(4)).snapshot_at_fraction(1.0);
+        let mean = 2.0 * g.num_edges() as f64 / g.num_active_nodes() as f64;
+        assert!(g.max_degree() as f64 > 5.0 * mean);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = core_tendril(params(), &mut seeded_rng(5));
+        let b = core_tendril(params(), &mut seeded_rng(5));
+        assert_eq!(a.events(), b.events());
+    }
+}

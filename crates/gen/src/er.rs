@@ -1,0 +1,78 @@
+//! Erdős–Rényi `G(n, m)` edge streams.
+
+use cp_graph::{NodeId, TemporalGraph};
+use rand::Rng;
+
+/// Generates a uniform random graph with `n` nodes and `m` distinct edges,
+/// streamed in a uniformly random insertion order.
+///
+/// Sampling is rejection-based over the pair space, which is efficient as
+/// long as `m` is well below `n(n-1)/2` (always true for the sparse graphs
+/// used here).
+///
+/// # Panics
+/// Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> TemporalGraph {
+    assert!(n >= 2 || m == 0, "need at least two nodes for edges");
+    let max_edges = n as u64 * (n as u64 - 1) / 2;
+    assert!(
+        (m as u64) <= max_edges,
+        "requested {m} edges but only {max_edges} possible"
+    );
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut edges = Vec::with_capacity(m);
+    while edges.len() < m {
+        let u = rng.random_range(0..n as u32);
+        let v = rng.random_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            edges.push((NodeId(key.0), NodeId(key.1)));
+        }
+    }
+    TemporalGraph::from_sequence(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+
+    #[test]
+    fn produces_exact_edge_count() {
+        let mut rng = seeded_rng(1);
+        let t = erdos_renyi(50, 120, &mut rng);
+        assert_eq!(t.num_nodes(), 50);
+        assert_eq!(t.num_events(), 120);
+        // All events are distinct edges, so the full snapshot has m edges.
+        assert_eq!(t.snapshot_at_fraction(1.0).num_edges(), 120);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = erdos_renyi(30, 60, &mut seeded_rng(7));
+        let b = erdos_renyi(30, 60, &mut seeded_rng(7));
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = erdos_renyi(30, 60, &mut seeded_rng(7));
+        let b = erdos_renyi(30, 60, &mut seeded_rng(8));
+        assert_ne!(a.events(), b.events());
+    }
+
+    #[test]
+    fn complete_graph_possible() {
+        let t = erdos_renyi(5, 10, &mut seeded_rng(3));
+        assert_eq!(t.snapshot_at_fraction(1.0).num_edges(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "possible")]
+    fn too_many_edges_panics() {
+        erdos_renyi(4, 7, &mut seeded_rng(1));
+    }
+}

@@ -1,0 +1,102 @@
+//! Forest-fire graph generation (Leskovec, Kleinberg, Faloutsos).
+//!
+//! Each arriving node picks an ambassador and "burns" through the existing
+//! graph with geometric fan-out, linking to every burned node. The model
+//! produces densification and shrinking diameters over time — the dynamic
+//! the paper's problem feeds on — and community-like locally dense regions.
+
+use cp_graph::{NodeId, TemporalGraph};
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Generates a forest-fire graph of `n` nodes with forward burning
+/// probability `p` (0 ≤ p < 1). The edge stream is ordered by node arrival.
+pub fn forest_fire<R: Rng>(n: usize, p: f64, rng: &mut R) -> TemporalGraph {
+    assert!((0.0..1.0).contains(&p), "burn probability must be in [0, 1)");
+    assert!(n >= 1);
+    let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    let mut burned: HashSet<u32> = HashSet::new();
+    // Burn order, kept separately: HashSet iteration order is not
+    // deterministic, and the edge stream must be reproducible per seed.
+    let mut burn_order: Vec<u32> = Vec::new();
+    let mut queue: Vec<u32> = Vec::new();
+
+    for new in 1..n as u32 {
+        burned.clear();
+        burn_order.clear();
+        queue.clear();
+        let ambassador = rng.random_range(0..new);
+        burned.insert(ambassador);
+        burn_order.push(ambassador);
+        queue.push(ambassador);
+        while let Some(w) = queue.pop() {
+            // Geometric number of additional spreads: keep burning
+            // unburned neighbors while coin flips succeed.
+            let nbrs = &adjacency[w as usize];
+            if nbrs.is_empty() {
+                continue;
+            }
+            let mut burns = 0usize;
+            while rng.random::<f64>() < p && burns < nbrs.len() {
+                burns += 1;
+            }
+            let mut picked = 0usize;
+            let start = rng.random_range(0..nbrs.len());
+            for i in 0..nbrs.len() {
+                if picked >= burns {
+                    break;
+                }
+                let cand = nbrs[(start + i) % nbrs.len()];
+                if burned.insert(cand) {
+                    burn_order.push(cand);
+                    queue.push(cand);
+                    picked += 1;
+                }
+            }
+        }
+        for &b in &burn_order {
+            edges.push((NodeId(new), NodeId(b)));
+            adjacency[new as usize].push(b);
+            adjacency[b as usize].push(new);
+        }
+    }
+    TemporalGraph::from_sequence(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use cp_graph::components::components;
+
+    #[test]
+    fn connected_and_growing() {
+        let t = forest_fire(300, 0.35, &mut seeded_rng(11));
+        let g = t.snapshot_at_fraction(1.0);
+        assert_eq!(components(&g).num_components(), 1);
+        // Every non-seed node contributes at least one edge.
+        assert!(g.num_edges() >= 299);
+    }
+
+    #[test]
+    fn higher_p_densifies() {
+        let sparse = forest_fire(300, 0.1, &mut seeded_rng(1)).snapshot_at_fraction(1.0);
+        let dense = forest_fire(300, 0.5, &mut seeded_rng(1)).snapshot_at_fraction(1.0);
+        assert!(dense.num_edges() > sparse.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = forest_fire(100, 0.3, &mut seeded_rng(21));
+        let b = forest_fire(100, 0.3, &mut seeded_rng(21));
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    fn zero_p_gives_tree() {
+        let t = forest_fire(50, 0.0, &mut seeded_rng(2));
+        let g = t.snapshot_at_fraction(1.0);
+        assert_eq!(g.num_edges(), 49); // each node links only its ambassador
+    }
+}

@@ -1,0 +1,164 @@
+//! Plain-text temporal edge-list I/O.
+//!
+//! Format: one event per line, `u v [time]`, whitespace separated; lines
+//! starting with `#` or `%` are comments. When the time column is absent,
+//! line order is the timestamp — this accepts the common SNAP/KONECT edge
+//! list exports, so real traces can be dropped in for the synthetic
+//! emulators without code changes.
+
+use cp_graph::{NodeId, TemporalGraph, TimedEdge};
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from temporal edge-list parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A malformed line, with its 1-based line number and content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, content } => {
+                write!(f, "malformed edge list at line {line}: {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Parses a temporal edge list from a reader. Node ids are compacted: the
+/// universe size becomes `max id + 1`.
+pub fn read_temporal<R: BufRead>(reader: R) -> Result<TemporalGraph, IoError> {
+    let mut events = Vec::new();
+    let mut max_node = 0u32;
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let parse_err = || IoError::Parse {
+            line: idx + 1,
+            content: trimmed.to_string(),
+        };
+        let u: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(parse_err)?;
+        let v: u32 = it
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(parse_err)?;
+        let time: u64 = match it.next() {
+            Some(s) => s.parse().map_err(|_| parse_err())?,
+            None => events.len() as u64,
+        };
+        max_node = max_node.max(u).max(v);
+        events.push(TimedEdge {
+            u: NodeId(u),
+            v: NodeId(v),
+            time,
+        });
+    }
+    let n = if events.is_empty() {
+        0
+    } else {
+        max_node as usize + 1
+    };
+    Ok(TemporalGraph::new(n, events))
+}
+
+/// Reads a temporal edge list from a file path.
+pub fn read_temporal_file(path: impl AsRef<Path>) -> Result<TemporalGraph, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_temporal(std::io::BufReader::new(file))
+}
+
+/// Writes a temporal edge list (`u v time` per line) to a writer.
+pub fn write_temporal<W: Write>(graph: &TemporalGraph, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# temporal edge list: u v time")?;
+    for e in graph.events() {
+        writeln!(out, "{} {} {}", e.u, e.v, e.time)?;
+    }
+    out.flush()
+}
+
+/// Writes a temporal edge list to a file path.
+pub fn write_temporal_file(graph: &TemporalGraph, path: impl AsRef<Path>) -> std::io::Result<()> {
+    write_temporal(graph, std::fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let t = TemporalGraph::from_sequence(
+            4,
+            vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3)), (NodeId(1), NodeId(2))],
+        );
+        let mut buf = Vec::new();
+        write_temporal(&t, &mut buf).unwrap();
+        let back = read_temporal(buf.as_slice()).unwrap();
+        assert_eq!(back.events(), t.events());
+        assert_eq!(back.num_nodes(), 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let text = "# header\n\n% konect style\n0 1\n1 2 5\n";
+        let t = read_temporal(text.as_bytes()).unwrap();
+        assert_eq!(t.num_events(), 2);
+        // First line had implicit time 0, second explicit time 5.
+        assert_eq!(t.events()[0].time, 0);
+        assert_eq!(t.events()[1].time, 5);
+    }
+
+    #[test]
+    fn malformed_line_reports_position() {
+        let text = "0 1\nnot an edge\n";
+        match read_temporal(text.as_bytes()) {
+            Err(IoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let t = read_temporal("".as_bytes()).unwrap();
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.num_events(), 0);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = TemporalGraph::from_sequence(3, vec![(NodeId(0), NodeId(2))]);
+        let dir = std::env::temp_dir().join("cp_gen_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("edges.txt");
+        write_temporal_file(&t, &path).unwrap();
+        let back = read_temporal_file(&path).unwrap();
+        assert_eq!(back.events(), t.events());
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,53 @@
+//! Synthetic evolving-graph generators for the converging-pairs experiments.
+//!
+//! The paper evaluates on four real datasets (IMDB actor co-appearances,
+//! the CAIDA AS-level Internet graph, a Facebook friendship trace, and DBLP
+//! co-authorships). Those traces are not redistributable, so this crate
+//! provides generators whose output matches the *structural properties that
+//! drive the paper's results* — degree distribution, clustering, diameter,
+//! component structure — at the same scale, together with four concrete
+//! [`datasets`] emulators. DESIGN.md §4 documents each substitution.
+//!
+//! All generators are deterministic given a seed and produce a
+//! [`TemporalGraph`](cp_graph::TemporalGraph) (a timestamped edge stream),
+//! because the experiments need *evolving* graphs: the stream is cut at
+//! edge fractions to obtain the `G_t1`/`G_t2` snapshot pairs (and the
+//! earlier 40 %/60 % pair used to train the classifiers).
+//!
+//! Generators:
+//! * [`er`] — Erdős–Rényi `G(n, m)` edge streams (null model).
+//! * [`ba`] — Barabási–Albert preferential attachment.
+//! * [`locality`] — locality-windowed preferential attachment with
+//!   peering links between existing nodes.
+//! * [`core_tendril`] — compact preferential core plus deep stub tendrils
+//!   with rare rescue-peering events (the Internet emulator).
+//! * [`ws`] — Watts–Strogatz small world (high clustering, fixed degree).
+//! * [`forest_fire`] — Leskovec et al. forest-fire burns (densifying).
+//! * [`sbm`] — flat stochastic block model with closure-biased streaming.
+//! * [`ring_sbm`] — communities on a ring with late long-range ties (the
+//!   Facebook emulator).
+//! * [`affiliation`] — bipartite affiliation projections: members join
+//!   groups and each group becomes a clique (actors/movies, authors/papers).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod affiliation;
+pub mod ba;
+pub mod core_tendril;
+pub mod datasets;
+pub mod er;
+pub mod forest_fire;
+pub mod io;
+pub mod locality;
+pub mod ring_sbm;
+pub mod sbm;
+pub mod ws;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Creates the crate's standard seeded RNG.
+pub fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}

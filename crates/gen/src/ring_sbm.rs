@@ -1,0 +1,233 @@
+//! Ring-of-communities stochastic block model — the Facebook emulator.
+//!
+//! A flat SBM reproduces community structure but not the *distance scale*
+//! of a real friendship graph: with every community one inter-edge away
+//! from every other, the diameter is ~5 and no pair can converge by more
+//! than a couple of hops. Real social graphs have geography: most
+//! cross-community ties connect *nearby* communities (schools in the same
+//! city), while occasional long-range ties (moving abroad, online
+//! communities) act as distance-collapsing shortcuts — precisely the
+//! events the paper mines.
+//!
+//! Here communities are arranged on a ring; edges are intra-community,
+//! adjacent-community, or long-range. The stream is ordered so local
+//! structure comes first and long-range ties concentrate toward the end,
+//! like a network whose long ties are the newest.
+
+use cp_graph::{NodeId, TemporalGraph};
+use rand::Rng;
+
+/// Parameters for the ring-of-communities model.
+#[derive(Clone, Copy, Debug)]
+pub struct RingSbmParams {
+    /// Number of nodes.
+    pub n: usize,
+    /// Number of communities, arranged on a ring.
+    pub communities: usize,
+    /// Expected intra-community edges per node.
+    pub intra_degree: f64,
+    /// Expected edges per node to the two adjacent communities.
+    pub adjacent_degree: f64,
+    /// Expected edges per node to a uniformly random far community.
+    pub far_degree: f64,
+}
+
+/// Generates a ring-of-communities graph; long-range edges are biased to
+/// the tail of the stream (see module docs).
+pub fn ring_sbm<R: Rng>(params: RingSbmParams, rng: &mut R) -> TemporalGraph {
+    let RingSbmParams {
+        n,
+        communities,
+        intra_degree,
+        adjacent_degree,
+        far_degree,
+    } = params;
+    assert!(communities >= 3, "need at least 3 communities for a ring");
+    assert!(n >= communities);
+    let block = n / communities;
+    let community_of = |u: usize| (u / block).min(communities - 1);
+    let nodes_of = |c: usize| {
+        let lo = c * block;
+        let hi = if c == communities - 1 { n } else { lo + block };
+        lo..hi
+    };
+
+    let m_intra = (n as f64 * intra_degree / 2.0).round() as usize;
+    let m_adj = (n as f64 * adjacent_degree / 2.0).round() as usize;
+    let m_far = (n as f64 * far_degree / 2.0).round() as usize;
+
+    let mut seen = std::collections::HashSet::with_capacity(2 * (m_intra + m_adj + m_far));
+    let mut local: Vec<(NodeId, NodeId)> = Vec::with_capacity(m_intra + m_adj);
+    let mut far: Vec<(NodeId, NodeId)> = Vec::with_capacity(m_far);
+
+    let max_tries = 200 * (m_intra + m_adj + m_far) + 1000;
+    let mut tries = 0;
+    // Intra-community edges.
+    while local.len() < m_intra && tries < max_tries {
+        tries += 1;
+        let u = rng.random_range(0..n);
+        let c = community_of(u);
+        let v = rng.random_range(nodes_of(c));
+        push_edge(u, v, &mut seen, &mut local);
+    }
+    // Adjacent-community edges.
+    let mut adj_count = 0;
+    tries = 0;
+    while adj_count < m_adj && tries < max_tries {
+        tries += 1;
+        let u = rng.random_range(0..n);
+        let c = community_of(u);
+        let next = if rng.random::<bool>() {
+            (c + 1) % communities
+        } else {
+            (c + communities - 1) % communities
+        };
+        let v = rng.random_range(nodes_of(next));
+        if push_edge(u, v, &mut seen, &mut local) {
+            adj_count += 1;
+        }
+    }
+    // Long-range edges (ring distance >= 2).
+    tries = 0;
+    while far.len() < m_far && tries < max_tries {
+        tries += 1;
+        let u = rng.random_range(0..n);
+        let cu = community_of(u);
+        let v = rng.random_range(0..n);
+        let cv = community_of(v);
+        let ring_dist = {
+            let d = cu.abs_diff(cv);
+            d.min(communities - d)
+        };
+        if ring_dist >= 2 {
+            push_edge(u, v, &mut seen, &mut far);
+        }
+    }
+
+    // Stream: every edge gets a position key in [0, 1] — uniform for
+    // local edges, skewed toward 1 for long-range ties (about 3/4 of them
+    // land in the last fifth of the stream), then sort by key. Unlike a
+    // draw-with-rising-probability scheme, this works regardless of how
+    // small the long-range class is relative to the stream.
+    let mut keyed: Vec<(f64, (NodeId, NodeId))> = Vec::with_capacity(local.len() + far.len());
+    for &e in &local {
+        keyed.push((rng.random::<f64>(), e));
+    }
+    for &e in &far {
+        let u: f64 = rng.random();
+        keyed.push((1.0 - 0.35 * u * u, e));
+    }
+    keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+    let edges: Vec<(NodeId, NodeId)> = keyed.into_iter().map(|(_, e)| e).collect();
+    TemporalGraph::from_sequence(n, edges)
+}
+
+fn push_edge(
+    u: usize,
+    v: usize,
+    seen: &mut std::collections::HashSet<(u32, u32)>,
+    out: &mut Vec<(NodeId, NodeId)>,
+) -> bool {
+    if u == v {
+        return false;
+    }
+    let key = (u.min(v) as u32, u.max(v) as u32);
+    if seen.insert(key) {
+        out.push((NodeId(key.0), NodeId(key.1)));
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sbm::{sbm, SbmParams};
+    use crate::seeded_rng;
+    use cp_graph::diameter::diameter_estimate;
+
+    fn params() -> RingSbmParams {
+        RingSbmParams {
+            n: 1_200,
+            communities: 16,
+            intra_degree: 7.0,
+            adjacent_degree: 1.2,
+            far_degree: 0.25,
+        }
+    }
+
+    #[test]
+    fn valid_and_edge_budget() {
+        let t = ring_sbm(params(), &mut seeded_rng(1));
+        let g = t.snapshot_at_fraction(1.0);
+        g.check_invariants().unwrap();
+        let expected = (1200.0 * (7.0 + 1.2 + 0.25) / 2.0) as usize;
+        assert!(
+            g.num_edges() >= expected * 9 / 10,
+            "{} < {}",
+            g.num_edges(),
+            expected
+        );
+    }
+
+    #[test]
+    fn ring_arrangement_stretches_diameter() {
+        let ring = ring_sbm(params(), &mut seeded_rng(2)).snapshot_at_fraction(1.0);
+        let flat = sbm(
+            SbmParams {
+                n: 1_200,
+                communities: 16,
+                intra_degree: 7.0,
+                inter_degree: 1.45,
+            },
+            &mut seeded_rng(2),
+        )
+        .snapshot_at_fraction(1.0);
+        assert!(
+            diameter_estimate(&ring) > diameter_estimate(&flat),
+            "ring {} vs flat {}",
+            diameter_estimate(&ring),
+            diameter_estimate(&flat)
+        );
+    }
+
+    #[test]
+    fn far_edges_arrive_late() {
+        let t = ring_sbm(params(), &mut seeded_rng(3));
+        let communities = 16;
+        let block = 1_200 / communities;
+        let is_far = |u: usize, v: usize| {
+            let (cu, cv) = (u / block, v / block);
+            let d = cu.abs_diff(cv);
+            d.min(communities - d) >= 2
+        };
+        let head = &t.events()[..t.num_events() / 2];
+        let tail = &t.events()[t.num_events() / 2..];
+        let count_far = |evs: &[cp_graph::TimedEdge]| {
+            evs.iter()
+                .filter(|e| is_far(e.u.index(), e.v.index()))
+                .count()
+        };
+        assert!(count_far(tail) > count_far(head));
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = ring_sbm(params(), &mut seeded_rng(4));
+        let b = ring_sbm(params(), &mut seeded_rng(4));
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "ring")]
+    fn too_few_communities_panics() {
+        ring_sbm(
+            RingSbmParams {
+                communities: 2,
+                ..params()
+            },
+            &mut seeded_rng(0),
+        );
+    }
+}

@@ -1,0 +1,89 @@
+//! Watts–Strogatz small-world streams.
+
+use cp_graph::{NodeId, TemporalGraph};
+use rand::Rng;
+
+/// Generates a Watts–Strogatz small-world graph: a ring lattice where each
+/// node connects to its `k/2` nearest neighbors on each side, with each
+/// lattice edge rewired to a random target with probability `beta`.
+///
+/// The stream interleaves lattice edges in ring order, so early snapshots
+/// are sparse rings — distances then collapse as the rewired shortcuts
+/// arrive, making this generator a stress test where *many* pairs converge
+/// sharply (shortcut insertions are exactly the events the paper's problem
+/// is about).
+///
+/// # Panics
+/// Panics unless `k` is even, `k >= 2` and `n > k`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> TemporalGraph {
+    assert!(k >= 2 && k.is_multiple_of(2), "k must be even and >= 2");
+    assert!(n > k, "need n > k");
+    assert!((0.0..=1.0).contains(&beta), "beta must be a probability");
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::with_capacity(n * k / 2);
+    let mut seen = std::collections::HashSet::with_capacity(n * k);
+    for dist in 1..=(k / 2) {
+        for u in 0..n {
+            let v = (u + dist) % n;
+            let (mut a, mut b) = (u as u32, v as u32);
+            if rng.random::<f64>() < beta {
+                // Rewire the far endpoint to a uniform random node, keeping
+                // the edge simple; give up after a few rejections (dense
+                // corner cases) and keep the lattice edge.
+                for _ in 0..16 {
+                    let t = rng.random_range(0..n as u32);
+                    let key = if a < t { (a, t) } else { (t, a) };
+                    if t != a && !seen.contains(&key) {
+                        b = t;
+                        break;
+                    }
+                }
+            }
+            let key = if a < b { (a, b) } else { std::mem::swap(&mut a, &mut b); (a, b) };
+            if seen.insert(key) {
+                edges.push((NodeId(key.0), NodeId(key.1)));
+            }
+        }
+    }
+    TemporalGraph::from_sequence(n, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeded_rng;
+    use cp_graph::diameter::diameter_estimate;
+
+    #[test]
+    fn pure_lattice_when_beta_zero() {
+        let t = watts_strogatz(20, 4, 0.0, &mut seeded_rng(1));
+        let g = t.snapshot_at_fraction(1.0);
+        assert_eq!(g.num_edges(), 20 * 2);
+        for u in g.nodes() {
+            assert_eq!(g.degree(u), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let lattice = watts_strogatz(400, 4, 0.0, &mut seeded_rng(2)).snapshot_at_fraction(1.0);
+        let small_world =
+            watts_strogatz(400, 4, 0.3, &mut seeded_rng(2)).snapshot_at_fraction(1.0);
+        assert!(
+            diameter_estimate(&small_world) < diameter_estimate(&lattice),
+            "shortcuts should shrink the diameter"
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = watts_strogatz(50, 4, 0.2, &mut seeded_rng(5));
+        let b = watts_strogatz(50, 4, 0.2, &mut seeded_rng(5));
+        assert_eq!(a.events(), b.events());
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn odd_k_panics() {
+        watts_strogatz(10, 3, 0.1, &mut seeded_rng(0));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the generators: every generator must produce a
+//! structurally valid, deterministic, monotone temporal graph.
+
+use cp_gen::affiliation::{affiliation, AffiliationParams};
+use cp_gen::ba::barabasi_albert;
+use cp_gen::er::erdos_renyi;
+use cp_gen::forest_fire::forest_fire;
+use cp_gen::sbm::{sbm, SbmParams};
+use cp_gen::seeded_rng;
+use cp_gen::ws::watts_strogatz;
+use cp_graph::TemporalGraph;
+use proptest::prelude::*;
+
+fn check_generator(t: &TemporalGraph) -> Result<(), TestCaseError> {
+    // Full snapshot satisfies the CSR invariants.
+    let g = t.snapshot_at_fraction(1.0);
+    prop_assert_eq!(g.check_invariants(), Ok(()));
+    // Snapshots are monotone.
+    let g_half = t.snapshot_at_fraction(0.5);
+    for (u, v) in g_half.edges() {
+        prop_assert!(g.has_edge(u, v));
+    }
+    // All events in range.
+    for e in t.events() {
+        prop_assert!(e.u.index() < t.num_nodes());
+        prop_assert!(e.v.index() < t.num_nodes());
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn erdos_renyi_valid(n in 4usize..80, seed in 0u64..1000) {
+        let max_edges = n * (n - 1) / 2;
+        let m = max_edges.min(3 * n);
+        let t = erdos_renyi(n, m, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        prop_assert_eq!(t.snapshot_at_fraction(1.0).num_edges(), m);
+        // Determinism.
+        let t2 = erdos_renyi(n, m, &mut seeded_rng(seed));
+        prop_assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn barabasi_albert_valid(n in 6usize..100, k in 1usize..4, seed in 0u64..1000) {
+        prop_assume!(n > k + 1);
+        let t = barabasi_albert(n, k, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        // Connected by construction.
+        let g = t.snapshot_at_fraction(1.0);
+        let comps = cp_graph::components::components(&g);
+        prop_assert_eq!(comps.num_components(), 1);
+        let t2 = barabasi_albert(n, k, &mut seeded_rng(seed));
+        prop_assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn watts_strogatz_valid(n in 10usize..80, beta in 0.0f64..1.0, seed in 0u64..1000) {
+        let t = watts_strogatz(n, 4, beta, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        let t2 = watts_strogatz(n, 4, beta, &mut seeded_rng(seed));
+        prop_assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn forest_fire_valid(n in 2usize..80, p in 0.0f64..0.6, seed in 0u64..1000) {
+        let t = forest_fire(n, p, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        let t2 = forest_fire(n, p, &mut seeded_rng(seed));
+        prop_assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn sbm_valid(n in 20usize..150, communities in 1usize..6, seed in 0u64..1000) {
+        let t = sbm(
+            SbmParams { n, communities, intra_degree: 4.0, inter_degree: 1.0 },
+            &mut seeded_rng(seed),
+        );
+        check_generator(&t)?;
+        let t2 = sbm(
+            SbmParams { n, communities, intra_degree: 4.0, inter_degree: 1.0 },
+            &mut seeded_rng(seed),
+        );
+        prop_assert_eq!(t.events(), t2.events());
+    }
+
+    #[test]
+    fn affiliation_valid(members in 20usize..150, groups in 1usize..40, seed in 0u64..1000) {
+        let params = AffiliationParams {
+            members,
+            groups,
+            group_min: 2,
+            group_max: 6,
+            newcomer_prob: 0.4,
+        };
+        let t = affiliation(params, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        let t2 = affiliation(params, &mut seeded_rng(seed));
+        prop_assert_eq!(t.events(), t2.events());
+    }
+}

@@ -1,0 +1,198 @@
+//! Threaded all-pairs shortest-path streaming.
+//!
+//! The exact ground truth for the experiments (the true top-k converging
+//! pairs, the diameter, Δmax) needs a BFS from every node of graphs with
+//! 10⁴–10⁵ nodes. Materializing the full `n × n` distance matrix would cost
+//! gigabytes, so instead we *stream*: a callback receives each source's
+//! distance row and extracts whatever aggregate it needs.
+//!
+//! Work is distributed over OS threads with a shared atomic cursor
+//! (`crossbeam::scope` keeps the borrows tidy); each worker owns its BFS
+//! scratch buffers, so the only shared state is the cursor and whatever the
+//! caller's sink guards itself.
+
+use crate::bfs::{bfs_into, BfsWorkspace};
+use crate::dijkstra::dijkstra_into;
+use crate::graph::{Graph, NodeId};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default number of worker threads: the available parallelism, capped so
+/// tiny graphs don't pay thread spawn overhead per call.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Runs `sink(src, distance_row)` for every source node, in parallel.
+///
+/// Rows arrive in no particular order. `sink` must be `Sync`; use interior
+/// locking (e.g. `parking_lot::Mutex`) or atomics for shared accumulation.
+/// Weighted graphs use Dijkstra, unweighted use BFS.
+pub fn for_each_source<F>(graph: &Graph, threads: usize, sink: F)
+where
+    F: Fn(NodeId, &[u32]) + Sync,
+{
+    let n = graph.num_nodes();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut dist = Vec::new();
+                let mut ws = BfsWorkspace::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let src = NodeId::new(i);
+                    if graph.is_weighted() {
+                        dijkstra_into(graph, src, &mut dist);
+                    } else {
+                        bfs_into(graph, src, &mut dist, &mut ws);
+                    }
+                    sink(src, &dist);
+                }
+            });
+        }
+    })
+    .expect("APSP worker panicked");
+}
+
+/// Runs `sink(src, row_in_g1, row_in_g2)` for every source, in parallel.
+///
+/// This is the workhorse for the exact converging-pairs baseline: each
+/// source's distance rows in both snapshots are produced together so the
+/// sink can compute Δ values without storing either matrix.
+pub fn for_each_source_pairwise<F>(g1: &Graph, g2: &Graph, threads: usize, sink: F)
+where
+    F: Fn(NodeId, &[u32], &[u32]) + Sync,
+{
+    assert_eq!(
+        g1.num_nodes(),
+        g2.num_nodes(),
+        "snapshots must share a node universe"
+    );
+    let n = g1.num_nodes();
+    if n == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n);
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| {
+                let mut d1 = Vec::new();
+                let mut d2 = Vec::new();
+                let mut ws = BfsWorkspace::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let src = NodeId::new(i);
+                    if g1.is_weighted() {
+                        dijkstra_into(g1, src, &mut d1);
+                    } else {
+                        bfs_into(g1, src, &mut d1, &mut ws);
+                    }
+                    if g2.is_weighted() {
+                        dijkstra_into(g2, src, &mut d2);
+                    } else {
+                        bfs_into(g2, src, &mut d2, &mut ws);
+                    }
+                    sink(src, &d1, &d2);
+                }
+            });
+        }
+    })
+    .expect("APSP worker panicked");
+}
+
+/// Collects the full distance matrix (row-major, `n × n`). Only sensible for
+/// small graphs; tests use it to cross-check the streaming variants.
+pub fn full_matrix(graph: &Graph, threads: usize) -> Vec<Vec<u32>> {
+    let n = graph.num_nodes();
+    let rows: Vec<parking_lot::Mutex<Vec<u32>>> =
+        (0..n).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    for_each_source(graph, threads, |src, dist| {
+        *rows[src.index()].lock() = dist.to_vec();
+    });
+    rows.into_iter().map(|m| m.into_inner()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs::bfs;
+    use crate::builder::graph_from_edges;
+    use parking_lot::Mutex;
+
+    fn sample() -> Graph {
+        graph_from_edges(
+            8,
+            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (6, 7)],
+        )
+    }
+
+    #[test]
+    fn matches_sequential_bfs() {
+        let g = sample();
+        let matrix = full_matrix(&g, 4);
+        for (s, row) in matrix.iter().enumerate() {
+            assert_eq!(row, &bfs(&g, NodeId::new(s)), "row {s}");
+        }
+    }
+
+    #[test]
+    fn visits_every_source_once() {
+        let g = sample();
+        let seen = Mutex::new(vec![0u32; g.num_nodes()]);
+        for_each_source(&g, 3, |src, _| {
+            seen.lock()[src.index()] += 1;
+        });
+        assert!(seen.into_inner().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn pairwise_rows_are_consistent() {
+        let g1 = graph_from_edges(5, &[(0, 1), (1, 2)]);
+        let g2 = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (0, 4)]);
+        let deltas = Mutex::new(Vec::new());
+        for_each_source_pairwise(&g1, &g2, 2, |src, d1, d2| {
+            if src == NodeId(0) {
+                deltas.lock().extend_from_slice(d1);
+                deltas.lock().extend_from_slice(d2);
+            }
+        });
+        let v = deltas.into_inner();
+        assert_eq!(&v[..5], bfs(&g1, NodeId(0)).as_slice());
+        assert_eq!(&v[5..], bfs(&g2, NodeId(0)).as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a node universe")]
+    fn mismatched_universe_panics() {
+        let g1 = graph_from_edges(3, &[(0, 1)]);
+        let g2 = graph_from_edges(4, &[(0, 1)]);
+        for_each_source_pairwise(&g1, &g2, 1, |_, _, _| {});
+    }
+
+    #[test]
+    fn empty_graph_is_noop() {
+        let g = graph_from_edges(0, &[]);
+        for_each_source(&g, 4, |_, _| panic!("should not be called"));
+    }
+
+    #[test]
+    fn single_thread_works() {
+        let g = sample();
+        let count = Mutex::new(0usize);
+        for_each_source(&g, 1, |_, _| *count.lock() += 1);
+        assert_eq!(count.into_inner(), 8);
+    }
+}

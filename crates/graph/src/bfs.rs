@@ -1,0 +1,178 @@
+//! Breadth-first single-source shortest paths for unit-weight graphs.
+//!
+//! BFS is *the* unit of computational cost in the paper: every algorithm is
+//! granted a budget of `2m` single-source shortest-path computations. The
+//! implementation therefore avoids per-call allocation via [`BfsWorkspace`]
+//! so that the cost model reflects graph traversal, not allocator churn.
+
+use crate::graph::{Graph, NodeId};
+use crate::INF;
+
+/// Reusable scratch space for BFS: the distance row double-buffers as the
+/// visited set (a node is visited iff its distance is finite).
+#[derive(Default)]
+pub struct BfsWorkspace {
+    frontier: Vec<NodeId>,
+    next: Vec<NodeId>,
+}
+
+impl BfsWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Computes unit-weight shortest-path distances from `src` into `dist`.
+///
+/// `dist` is resized to `graph.num_nodes()` and fully overwritten;
+/// unreachable nodes get [`INF`].
+pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWorkspace) {
+    let n = graph.num_nodes();
+    dist.clear();
+    dist.resize(n, INF);
+    ws.frontier.clear();
+    ws.next.clear();
+
+    dist[src.index()] = 0;
+    ws.frontier.push(src);
+    let mut level: u32 = 0;
+    while !ws.frontier.is_empty() {
+        level += 1;
+        for &u in &ws.frontier {
+            for &v in graph.neighbors(u) {
+                if dist[v.index()] == INF {
+                    dist[v.index()] = level;
+                    ws.next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut ws.frontier, &mut ws.next);
+        ws.next.clear();
+    }
+}
+
+/// Allocating convenience wrapper around [`bfs_into`].
+pub fn bfs(graph: &Graph, src: NodeId) -> Vec<u32> {
+    let mut dist = Vec::new();
+    let mut ws = BfsWorkspace::new();
+    bfs_into(graph, src, &mut dist, &mut ws);
+    dist
+}
+
+/// BFS that stops once all nodes within `max_depth` hops are settled.
+///
+/// Distances beyond `max_depth` are left at [`INF`]. Used by bounded
+/// neighborhood probes (e.g. the Selective Expansion variant of the
+/// Incidence baseline).
+pub fn bfs_bounded(graph: &Graph, src: NodeId, max_depth: u32) -> Vec<u32> {
+    let n = graph.num_nodes();
+    let mut dist = vec![INF; n];
+    let mut frontier = vec![src];
+    let mut next = Vec::new();
+    dist[src.index()] = 0;
+    let mut level = 0;
+    while !frontier.is_empty() && level < max_depth {
+        level += 1;
+        for &u in &frontier {
+            for &v in graph.neighbors(u) {
+                if dist[v.index()] == INF {
+                    dist[v.index()] = level;
+                    next.push(v);
+                }
+            }
+        }
+        std::mem::swap(&mut frontier, &mut next);
+        next.clear();
+    }
+    dist
+}
+
+/// Returns the farthest node from `src` (smallest id breaks ties) and its
+/// distance, considering only reachable nodes. Building block of the
+/// double-sweep diameter bound and the greedy dispersion selectors.
+pub fn farthest_node(graph: &Graph, src: NodeId) -> (NodeId, u32) {
+    let dist = bfs(graph, src);
+    let mut best = (src, 0u32);
+    for (i, &d) in dist.iter().enumerate() {
+        if d != INF && d > best.1 {
+            best = (NodeId::new(i), d);
+        }
+    }
+    best
+}
+
+/// Computes the eccentricity of `src` (max finite distance from it).
+pub fn eccentricity(graph: &Graph, src: NodeId) -> u32 {
+    bfs(graph, src)
+        .into_iter()
+        .filter(|&d| d != INF)
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn path5() -> Graph {
+        graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = path5();
+        assert_eq!(bfs(&g, NodeId(0)), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, NodeId(2)), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn bfs_disconnected() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3)]);
+        let d = bfs(&g, NodeId(0));
+        assert_eq!(d[0], 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], INF);
+        assert_eq!(d[3], INF);
+    }
+
+    #[test]
+    fn workspace_reuse_gives_same_results() {
+        let g = path5();
+        let mut ws = BfsWorkspace::new();
+        let mut dist = Vec::new();
+        bfs_into(&g, NodeId(0), &mut dist, &mut ws);
+        let first = dist.clone();
+        bfs_into(&g, NodeId(4), &mut dist, &mut ws);
+        assert_eq!(dist, vec![4, 3, 2, 1, 0]);
+        bfs_into(&g, NodeId(0), &mut dist, &mut ws);
+        assert_eq!(dist, first);
+    }
+
+    #[test]
+    fn bounded_bfs_truncates() {
+        let g = path5();
+        let d = bfs_bounded(&g, NodeId(0), 2);
+        assert_eq!(d, vec![0, 1, 2, INF, INF]);
+        let full = bfs_bounded(&g, NodeId(0), 100);
+        assert_eq!(full, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn farthest_and_eccentricity() {
+        let g = path5();
+        assert_eq!(farthest_node(&g, NodeId(0)), (NodeId(4), 4));
+        assert_eq!(eccentricity(&g, NodeId(2)), 2);
+        // Isolated source: eccentricity 0, farthest is itself.
+        let g2 = graph_from_edges(3, &[(1, 2)]);
+        assert_eq!(farthest_node(&g2, NodeId(0)), (NodeId(0), 0));
+        assert_eq!(eccentricity(&g2, NodeId(0)), 0);
+    }
+
+    #[test]
+    fn bfs_single_node_graph() {
+        let g = graph_from_edges(1, &[]);
+        assert_eq!(bfs(&g, NodeId(0)), vec![0]);
+    }
+}

@@ -1,0 +1,213 @@
+//! Incremental construction of CSR snapshots.
+
+use crate::graph::{Graph, NodeId};
+
+/// Builds a [`Graph`] from an edge list.
+///
+/// * Self-loops are dropped.
+/// * Parallel edges are de-duplicated (first occurrence wins, including its
+///   weight) — the temporal streams used in the experiments legitimately
+///   re-announce edges (e.g. two actors appearing in several movies), and a
+///   snapshot is the *set* of edges seen so far.
+/// * Mixing [`add_edge`](Self::add_edge) and
+///   [`add_weighted_edge`](Self::add_weighted_edge) is allowed; plain edges
+///   get weight 1 and the resulting graph is weighted if any call supplied a
+///   weight.
+pub struct GraphBuilder {
+    num_nodes: usize,
+    /// (min endpoint, max endpoint, weight)
+    edges: Vec<(NodeId, NodeId, u32)>,
+    weighted: bool,
+}
+
+impl GraphBuilder {
+    /// Creates a builder over a universe of `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            weighted: false,
+        }
+    }
+
+    /// Creates a builder and reserves room for `edges` edges.
+    pub fn with_capacity(num_nodes: usize, edges: usize) -> Self {
+        GraphBuilder {
+            num_nodes,
+            edges: Vec::with_capacity(edges),
+            weighted: false,
+        }
+    }
+
+    /// Number of nodes in the universe.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Adds the undirected unit-weight edge `{u, v}`. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is outside the node universe.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        self.add_weighted_raw(u, v, 1);
+    }
+
+    /// Adds the undirected edge `{u, v}` with a positive weight.
+    ///
+    /// # Panics
+    /// Panics if `weight == 0` or an endpoint is out of range.
+    pub fn add_weighted_edge(&mut self, u: NodeId, v: NodeId, weight: u32) {
+        assert!(weight > 0, "edge weights must be positive");
+        self.weighted = true;
+        self.add_weighted_raw(u, v, weight);
+    }
+
+    fn add_weighted_raw(&mut self, u: NodeId, v: NodeId, weight: u32) {
+        assert!(
+            u.index() < self.num_nodes && v.index() < self.num_nodes,
+            "edge ({u:?}, {v:?}) outside node universe of size {}",
+            self.num_nodes
+        );
+        if u == v {
+            return;
+        }
+        let (a, b) = if u < v { (u, v) } else { (v, u) };
+        self.edges.push((a, b, weight));
+    }
+
+    /// Finalizes the CSR snapshot.
+    pub fn build(mut self) -> Graph {
+        // Sort + dedup normalized endpoint pairs; stable sort keeps the first
+        // occurrence's weight after dedup_by.
+        self.edges
+            .sort_by_key(|x| (x.0, x.1));
+        self.edges.dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
+
+        let n = self.num_nodes;
+        let m = self.edges.len();
+        let mut degrees = vec![0usize; n];
+        for &(u, v, _) in &self.edges {
+            degrees[u.index()] += 1;
+            degrees[v.index()] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![NodeId(0); 2 * m];
+        let mut arc_edge = vec![0u32; 2 * m];
+        let mut weights = if self.weighted {
+            Some(Vec::with_capacity(m))
+        } else {
+            None
+        };
+        for (e, &(u, v, w)) in self.edges.iter().enumerate() {
+            let e32 = u32::try_from(e).expect("edge count exceeds u32");
+            targets[cursor[u.index()]] = v;
+            arc_edge[cursor[u.index()]] = e32;
+            cursor[u.index()] += 1;
+            targets[cursor[v.index()]] = u;
+            arc_edge[cursor[v.index()]] = e32;
+            cursor[v.index()] += 1;
+            if let Some(ws) = &mut weights {
+                ws.push(w);
+            }
+        }
+        // Edges were inserted in (u, v)-sorted order, and within each node's
+        // slot the arcs therefore arrive with non-decreasing targets — except
+        // arcs added in the `v` role, which interleave. A per-node sort fixes
+        // this; adjacency slices are small so the simple approach is fine.
+        for u in 0..n {
+            let range = offsets[u]..offsets[u + 1];
+            let mut pairs: Vec<(NodeId, u32)> = targets[range.clone()]
+                .iter()
+                .copied()
+                .zip(arc_edge[range.clone()].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|&(t, _)| t);
+            for (i, (t, e)) in pairs.into_iter().enumerate() {
+                targets[offsets[u] + i] = t;
+                arc_edge[offsets[u] + i] = e;
+            }
+        }
+        let g = Graph {
+            offsets,
+            targets,
+            arc_edge,
+            weights,
+            num_edges: m,
+        };
+        debug_assert_eq!(g.check_invariants(), Ok(()));
+        g
+    }
+}
+
+/// Convenience: builds an unweighted graph from `(u, v)` index pairs.
+pub fn graph_from_edges(num_nodes: usize, edges: &[(u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::with_capacity(num_nodes, edges.len());
+    for &(u, v) in edges {
+        b.add_edge(NodeId(u), NodeId(v));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(1), NodeId(0)); // duplicate, reversed
+        b.add_edge(NodeId(2), NodeId(2)); // self-loop, dropped
+        b.add_edge(NodeId(1), NodeId(2));
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn weighted_keeps_first_weight() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 7);
+        b.add_weighted_edge(NodeId(1), NodeId(0), 9); // duplicate, ignored
+        let g = b.build();
+        assert!(g.is_weighted());
+        assert_eq!(g.edge_weight(g.edge_id(NodeId(0), NodeId(1)).unwrap()), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside node universe")]
+    fn out_of_range_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weight_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        g.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn helper_builds_graph() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+}

@@ -1,0 +1,158 @@
+//! Connected components and connected-pair counting.
+//!
+//! The paper restricts Problem 1 to pairs *connected in `G_t1`* (otherwise
+//! the distance decrease is infinite and the problem degenerates to "which
+//! components merged"). Table 2 also reports the number of non-connected
+//! pairs per dataset; both computations live here.
+
+use crate::graph::{Graph, NodeId};
+use crate::unionfind::UnionFind;
+
+/// The component decomposition of a graph.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `labels[u]` is the component index of node `u`, in `0..num_components`.
+    pub labels: Vec<u32>,
+    /// `sizes[c]` is the number of nodes in component `c` (isolated nodes
+    /// form singleton components).
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components (including singletons).
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether `u` and `v` are in the same component.
+    #[inline]
+    pub fn connected(&self, u: NodeId, v: NodeId) -> bool {
+        self.labels[u.index()] == self.labels[v.index()]
+    }
+
+    /// Component label of `u`.
+    #[inline]
+    pub fn label(&self, u: NodeId) -> u32 {
+        self.labels[u.index()]
+    }
+
+    /// Number of unordered node pairs that are connected
+    /// (`Σ_c size_c · (size_c − 1) / 2`).
+    pub fn connected_pairs(&self) -> u64 {
+        self.sizes
+            .iter()
+            .map(|&s| (s as u64) * (s as u64 - 1) / 2)
+            .sum()
+    }
+
+    /// Number of unordered pairs of *active* (degree > 0) nodes that are not
+    /// connected; this is what the paper's Table 2 reports as
+    /// "not-connected".
+    pub fn not_connected_active_pairs(&self, graph: &Graph) -> u64 {
+        let active: Vec<bool> = graph.nodes().map(|u| graph.degree(u) > 0).collect();
+        let total_active = active.iter().filter(|&&a| a).count() as u64;
+        let all_pairs = total_active * total_active.saturating_sub(1) / 2;
+        // Active nodes per component; a component of active nodes contributes
+        // its internal pairs to the "connected" side.
+        let mut active_per_comp = vec![0u64; self.sizes.len()];
+        for u in graph.nodes() {
+            if active[u.index()] {
+                active_per_comp[self.labels[u.index()] as usize] += 1;
+            }
+        }
+        let connected: u64 = active_per_comp.iter().map(|&s| s * s.saturating_sub(1) / 2).sum();
+        all_pairs - connected
+    }
+
+    /// Nodes of the largest component.
+    pub fn largest_component_nodes(&self) -> Vec<NodeId> {
+        let best = self
+            .sizes
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, s)| *s)
+            .map(|(c, _)| c as u32);
+        match best {
+            None => Vec::new(),
+            Some(c) => (0..self.labels.len())
+                .filter(|&i| self.labels[i] == c)
+                .map(NodeId::new)
+                .collect(),
+        }
+    }
+}
+
+/// Computes the connected components of `graph` via union-find.
+pub fn components(graph: &Graph) -> Components {
+    let n = graph.num_nodes();
+    let mut uf = UnionFind::new(n);
+    for u in graph.nodes() {
+        for &v in graph.neighbors(u) {
+            if u < v {
+                uf.union(u.index(), v.index());
+            }
+        }
+    }
+    // Relabel roots densely.
+    let mut root_to_label = vec![u32::MAX; n];
+    let mut labels = vec![0u32; n];
+    let mut sizes = Vec::new();
+    for (i, label) in labels.iter_mut().enumerate() {
+        let r = uf.find(i);
+        if root_to_label[r] == u32::MAX {
+            root_to_label[r] = sizes.len() as u32;
+            sizes.push(0);
+        }
+        *label = root_to_label[r];
+        sizes[root_to_label[r] as usize] += 1;
+    }
+    Components { labels, sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn two_components_and_isolated() {
+        // {0,1,2} path, {3,4} edge, 5 isolated.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let c = components(&g);
+        assert_eq!(c.num_components(), 3);
+        assert!(c.connected(NodeId(0), NodeId(2)));
+        assert!(!c.connected(NodeId(0), NodeId(3)));
+        assert_eq!(c.connected_pairs(), 3 + 1); // C(3,2) + C(2,2)
+        // Active nodes: 0..=4 (5 nodes, 10 pairs), connected pairs among
+        // active: 3 + 1 = 4, so 6 not connected.
+        assert_eq!(c.not_connected_active_pairs(&g), 6);
+    }
+
+    #[test]
+    fn largest_component() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let c = components(&g);
+        assert_eq!(
+            c.largest_component_nodes(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn fully_connected() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = components(&g);
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(c.connected_pairs(), 6);
+        assert_eq!(c.not_connected_active_pairs(&g), 0);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = graph_from_edges(0, &[]);
+        let c = components(&g);
+        assert_eq!(c.num_components(), 0);
+        assert_eq!(c.connected_pairs(), 0);
+        assert!(c.largest_component_nodes().is_empty());
+    }
+}

@@ -1,0 +1,99 @@
+//! Degree-based statistics over one or two snapshots.
+//!
+//! These feed the centrality-based selectors (Degree / DegDiff / DegRel),
+//! the classifier features, and the dataset characterization of Table 2.
+
+use crate::graph::{Graph, NodeId};
+
+/// Degree vector of a graph.
+pub fn degree_vector(graph: &Graph) -> Vec<u32> {
+    graph.nodes().map(|u| graph.degree(u) as u32).collect()
+}
+
+/// Per-node degree difference `deg_t2(u) − deg_t1(u)`.
+///
+/// For growing graphs this is non-negative; the function saturates at zero
+/// to stay total on arbitrary snapshot pairs.
+pub fn degree_diff(g1: &Graph, g2: &Graph) -> Vec<u32> {
+    assert_eq!(g1.num_nodes(), g2.num_nodes());
+    g1.nodes()
+        .map(|u| (g2.degree(u) as u32).saturating_sub(g1.degree(u) as u32))
+        .collect()
+}
+
+/// Per-node relative degree difference `(deg_t2 − deg_t1) / deg_t1`.
+///
+/// Nodes with `deg_t1 = 0` (new arrivals) use a denominator of 1, matching
+/// the intuition that every new edge of a fresh node is maximally
+/// significant; the paper does not define this corner, and these nodes have
+/// no pairs in `G_t1` anyway, so the choice cannot affect coverage of valid
+/// pairs — only the ranking of useless candidates.
+pub fn degree_rel_diff(g1: &Graph, g2: &Graph) -> Vec<f64> {
+    assert_eq!(g1.num_nodes(), g2.num_nodes());
+    g1.nodes()
+        .map(|u| {
+            let d1 = g1.degree(u) as f64;
+            let d2 = g2.degree(u) as f64;
+            (d2 - d1).max(0.0) / d1.max(1.0)
+        })
+        .collect()
+}
+
+/// Returns the indices of the `m` largest entries of `scores`, descending,
+/// with ties broken by smaller node id (deterministic). `m` is clipped to
+/// the number of nodes.
+pub fn top_m_by_score_f64(scores: &[f64], m: usize) -> Vec<NodeId> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    // Total order: NaN-free inputs expected (scores come from our own
+    // arithmetic); sort_unstable_by with partial_cmp would panic on NaN,
+    // total_cmp keeps it robust.
+    idx.sort_by(|&a, &b| {
+        scores[b as usize]
+            .total_cmp(&scores[a as usize])
+            .then(a.cmp(&b))
+    });
+    idx.truncate(m.min(scores.len()));
+    idx.into_iter().map(NodeId).collect()
+}
+
+/// Integer-score variant of [`top_m_by_score_f64`].
+pub fn top_m_by_score_u32(scores: &[u32], m: usize) -> Vec<NodeId> {
+    let mut idx: Vec<u32> = (0..scores.len() as u32).collect();
+    idx.sort_by(|&a, &b| scores[b as usize].cmp(&scores[a as usize]).then(a.cmp(&b)));
+    idx.truncate(m.min(scores.len()));
+    idx.into_iter().map(NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn degree_vectors() {
+        let g1 = graph_from_edges(4, &[(0, 1)]);
+        let g2 = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3), (2, 3)]);
+        assert_eq!(degree_vector(&g1), vec![1, 1, 0, 0]);
+        assert_eq!(degree_diff(&g1, &g2), vec![2, 0, 2, 2]);
+        let rel = degree_rel_diff(&g1, &g2);
+        assert_eq!(rel[0], 2.0); // 1 -> 3
+        assert_eq!(rel[1], 0.0);
+        assert_eq!(rel[2], 2.0); // 0 -> 2, denominator clamped to 1
+    }
+
+    #[test]
+    fn top_m_selection_and_ties() {
+        let scores = [3u32, 5, 5, 1];
+        assert_eq!(
+            top_m_by_score_u32(&scores, 3),
+            vec![NodeId(1), NodeId(2), NodeId(0)]
+        );
+        // m larger than n clips.
+        assert_eq!(top_m_by_score_u32(&scores, 10).len(), 4);
+        let f = [0.5f64, 2.5, 2.5, -1.0];
+        assert_eq!(
+            top_m_by_score_f64(&f, 2),
+            vec![NodeId(1), NodeId(2)]
+        );
+    }
+}

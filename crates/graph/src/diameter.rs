@@ -1,0 +1,100 @@
+//! Graph diameter: exact (threaded all-pairs BFS) and double-sweep bounds.
+//!
+//! Table 2 of the paper reports the diameter of each dataset snapshot. The
+//! exact computation is affordable at the experiment scale (tens of
+//! thousands of nodes); the double-sweep lower bound is provided for quick
+//! sanity checks on bigger graphs.
+
+use crate::apsp::for_each_source;
+use crate::bfs::farthest_node;
+use crate::graph::{Graph, NodeId};
+use crate::INF;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Exact diameter of the graph: the largest finite pairwise distance
+/// (i.e. the diameter of the largest-eccentricity component). Returns 0 for
+/// edgeless graphs.
+pub fn diameter_exact(graph: &Graph, threads: usize) -> u32 {
+    let best = AtomicU32::new(0);
+    for_each_source(graph, threads, |_, dist| {
+        let mut local = 0;
+        for &d in dist {
+            if d != INF && d > local {
+                local = d;
+            }
+        }
+        best.fetch_max(local, Ordering::Relaxed);
+    });
+    best.load(Ordering::Relaxed)
+}
+
+/// Double-sweep lower bound on the diameter.
+///
+/// BFS from `start`, then BFS from the farthest node found; the second
+/// eccentricity is a classic (usually tight on real-world graphs) lower
+/// bound. `start` should be a node of the component of interest — pass a
+/// max-degree node for the conventional heuristic.
+pub fn diameter_double_sweep(graph: &Graph, start: NodeId) -> u32 {
+    let (far, _) = farthest_node(graph, start);
+    let (_, ecc) = farthest_node(graph, far);
+    ecc
+}
+
+/// Double-sweep lower bound started from a maximum-degree node.
+pub fn diameter_estimate(graph: &Graph) -> u32 {
+    let start = graph
+        .nodes()
+        .max_by_key(|&u| graph.degree(u))
+        .unwrap_or(NodeId(0));
+    if graph.num_nodes() == 0 {
+        return 0;
+    }
+    diameter_double_sweep(graph, start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    #[test]
+    fn path_diameter() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        assert_eq!(diameter_exact(&g, 2), 5);
+        assert_eq!(diameter_double_sweep(&g, NodeId(2)), 5);
+        assert_eq!(diameter_estimate(&g), 5);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(diameter_exact(&g, 2), 3);
+        // Double sweep is a lower bound; on even cycles it is exact.
+        assert!(diameter_double_sweep(&g, NodeId(0)) <= 3);
+    }
+
+    #[test]
+    fn disconnected_uses_largest_finite_distance() {
+        let g = graph_from_edges(7, &[(0, 1), (1, 2), (3, 4), (4, 5), (5, 6)]);
+        assert_eq!(diameter_exact(&g, 2), 3);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = graph_from_edges(3, &[]);
+        assert_eq!(diameter_exact(&g, 2), 0);
+        assert_eq!(diameter_estimate(&g), 0);
+    }
+
+    #[test]
+    fn double_sweep_never_exceeds_exact() {
+        let g = graph_from_edges(
+            9,
+            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5), (5, 6), (6, 7), (7, 8)],
+        );
+        let exact = diameter_exact(&g, 2);
+        for s in 0..9 {
+            assert!(diameter_double_sweep(&g, NodeId(s)) <= exact);
+        }
+    }
+}

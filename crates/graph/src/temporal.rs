@@ -1,0 +1,226 @@
+//! Timestamped edge streams and snapshot extraction.
+//!
+//! The paper models an evolving network as a sequence of slices of node and
+//! edge insertions; `G_t` aggregates all slices up to `t`. A
+//! [`TemporalGraph`] is exactly that: an ordered stream of timestamped edges
+//! over a fixed node universe, from which prefix snapshots are cut either by
+//! timestamp or by edge fraction ("the first snapshot contains 80 percent of
+//! the edges", §5.1).
+
+use crate::builder::GraphBuilder;
+use crate::graph::{Graph, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// An edge insertion event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimedEdge {
+    /// One endpoint.
+    pub u: NodeId,
+    /// Other endpoint.
+    pub v: NodeId,
+    /// Insertion time (any monotone counter; ties allowed).
+    pub time: u64,
+}
+
+/// An evolving graph: a fixed node universe plus a time-ordered edge stream.
+///
+/// Duplicate edge announcements are allowed in the stream (snapshots take
+/// the set union); self-loops are dropped at snapshot time.
+///
+/// ```
+/// use cp_graph::{NodeId, TemporalGraph};
+///
+/// let t = TemporalGraph::from_sequence(
+///     3,
+///     vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2)), (NodeId(0), NodeId(2))],
+/// );
+/// let (g1, g2) = t.snapshot_pair(0.5, 1.0);
+/// assert_eq!(g1.num_edges(), 2); // ceil(0.5 * 3) = first two insertions
+/// assert_eq!(g2.num_edges(), 3); // the whole triangle
+/// assert_eq!(
+///     TemporalGraph::new_edges_between(&g1, &g2),
+///     vec![(NodeId(0), NodeId(2))]
+/// );
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TemporalGraph {
+    num_nodes: usize,
+    events: Vec<TimedEdge>,
+}
+
+impl TemporalGraph {
+    /// Creates a temporal graph from an event list; events are sorted by
+    /// time (stable, so same-time events keep their given order).
+    pub fn new(num_nodes: usize, mut events: Vec<TimedEdge>) -> Self {
+        for e in &events {
+            assert!(
+                e.u.index() < num_nodes && e.v.index() < num_nodes,
+                "event endpoint outside node universe"
+            );
+        }
+        events.sort_by_key(|e| e.time);
+        TemporalGraph { num_nodes, events }
+    }
+
+    /// Creates a temporal graph where event order *is* the timestamp.
+    pub fn from_sequence(num_nodes: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        let events = edges
+            .into_iter()
+            .enumerate()
+            .map(|(i, (u, v))| TimedEdge {
+                u,
+                v,
+                time: i as u64,
+            })
+            .collect();
+        TemporalGraph::new(num_nodes, events)
+    }
+
+    /// Size of the node universe.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Total number of edge events (including duplicates).
+    pub fn num_events(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The time-ordered event stream.
+    pub fn events(&self) -> &[TimedEdge] {
+        &self.events
+    }
+
+    /// Snapshot containing every edge inserted at time `<= t`.
+    pub fn snapshot_at(&self, t: u64) -> Graph {
+        let end = self.events.partition_point(|e| e.time <= t);
+        self.snapshot_of_prefix(end)
+    }
+
+    /// Snapshot containing the first `ceil(fraction * num_events)` events.
+    ///
+    /// `fraction` is clamped to `[0, 1]`. This is the paper's snapshot
+    /// convention ("`G_t1` contains 80 percent of the edges, `G_t2` the
+    /// entire graph").
+    pub fn snapshot_at_fraction(&self, fraction: f64) -> Graph {
+        let f = fraction.clamp(0.0, 1.0);
+        let end = (f * self.events.len() as f64).ceil() as usize;
+        self.snapshot_of_prefix(end.min(self.events.len()))
+    }
+
+    /// Snapshot of the first `count` events.
+    pub fn snapshot_of_prefix(&self, count: usize) -> Graph {
+        let count = count.min(self.events.len());
+        let mut b = GraphBuilder::with_capacity(self.num_nodes, count);
+        for e in &self.events[..count] {
+            b.add_edge(e.u, e.v);
+        }
+        b.build()
+    }
+
+    /// The pair of snapshots `(G_t1, G_t2)` at the given edge fractions;
+    /// convenience for the standard experimental setup.
+    pub fn snapshot_pair(&self, f1: f64, f2: f64) -> (Graph, Graph) {
+        assert!(f1 <= f2, "first snapshot must precede second");
+        (self.snapshot_at_fraction(f1), self.snapshot_at_fraction(f2))
+    }
+
+    /// Edges present in the second snapshot but not the first, as
+    /// normalized `(min, max)` pairs, de-duplicated. These are the *new*
+    /// edges whose endpoints form the Incidence baseline's active set.
+    pub fn new_edges_between(g1: &Graph, g2: &Graph) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        for u in g2.nodes() {
+            for &v in g2.neighbors(u) {
+                if u < v && !g1.has_edge(u, v) {
+                    out.push((u, v));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stream() -> TemporalGraph {
+        TemporalGraph::from_sequence(
+            5,
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(1), NodeId(2)),
+                (NodeId(0), NodeId(1)), // duplicate announcement
+                (NodeId(2), NodeId(3)),
+                (NodeId(3), NodeId(4)),
+            ],
+        )
+    }
+
+    #[test]
+    fn prefix_snapshots_grow() {
+        let t = stream();
+        assert_eq!(t.snapshot_of_prefix(0).num_edges(), 0);
+        assert_eq!(t.snapshot_of_prefix(2).num_edges(), 2);
+        assert_eq!(t.snapshot_of_prefix(3).num_edges(), 2); // duplicate collapsed
+        assert_eq!(t.snapshot_of_prefix(5).num_edges(), 4);
+        assert_eq!(t.snapshot_of_prefix(999).num_edges(), 4);
+    }
+
+    #[test]
+    fn fraction_snapshots() {
+        let t = stream();
+        let (g1, g2) = t.snapshot_pair(0.4, 1.0);
+        assert_eq!(g1.num_edges(), 2); // ceil(0.4 * 5) = 2 events
+        assert_eq!(g2.num_edges(), 4);
+        assert_eq!(t.snapshot_at_fraction(0.0).num_edges(), 0);
+        assert_eq!(t.snapshot_at_fraction(2.0).num_edges(), 4); // clamped
+    }
+
+    #[test]
+    fn time_snapshots() {
+        let events = vec![
+            TimedEdge { u: NodeId(0), v: NodeId(1), time: 10 },
+            TimedEdge { u: NodeId(1), v: NodeId(2), time: 20 },
+            TimedEdge { u: NodeId(2), v: NodeId(0), time: 30 },
+        ];
+        let t = TemporalGraph::new(3, events);
+        assert_eq!(t.snapshot_at(9).num_edges(), 0);
+        assert_eq!(t.snapshot_at(10).num_edges(), 1);
+        assert_eq!(t.snapshot_at(25).num_edges(), 2);
+        assert_eq!(t.snapshot_at(u64::MAX).num_edges(), 3);
+    }
+
+    #[test]
+    fn events_sorted_on_construction() {
+        let events = vec![
+            TimedEdge { u: NodeId(1), v: NodeId(2), time: 5 },
+            TimedEdge { u: NodeId(0), v: NodeId(1), time: 1 },
+        ];
+        let t = TemporalGraph::new(3, events);
+        assert_eq!(t.events()[0].time, 1);
+        assert_eq!(t.num_events(), 2);
+        assert_eq!(t.num_nodes(), 3);
+    }
+
+    #[test]
+    fn new_edges_detected() {
+        let t = stream();
+        let (g1, g2) = t.snapshot_pair(0.4, 1.0);
+        let new = TemporalGraph::new_edges_between(&g1, &g2);
+        assert_eq!(new, vec![(NodeId(2), NodeId(3)), (NodeId(3), NodeId(4))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside node universe")]
+    fn out_of_universe_event_panics() {
+        TemporalGraph::from_sequence(2, vec![(NodeId(0), NodeId(5))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "precede")]
+    fn inverted_fraction_pair_panics() {
+        stream().snapshot_pair(0.9, 0.5);
+    }
+}

@@ -1,0 +1,124 @@
+//! Dense feature matrices with binary labels.
+
+/// A dense, row-major feature matrix with one binary label per row.
+#[derive(Clone, Debug, Default)]
+pub struct Dataset {
+    num_features: usize,
+    /// Row-major values, `rows * num_features` long.
+    values: Vec<f64>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given feature arity.
+    pub fn new(num_features: usize) -> Self {
+        Dataset {
+            num_features,
+            values: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Feature arity.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if `row.len() != num_features`.
+    pub fn push(&mut self, row: &[f64], label: bool) {
+        assert_eq!(row.len(), self.num_features, "feature arity mismatch");
+        self.values.extend_from_slice(row);
+        self.labels.push(label);
+    }
+
+    /// The `i`-th feature row.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.values[i * self.num_features..(i + 1) * self.num_features]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Number of positive rows.
+    pub fn num_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Iterates `(row, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[f64], bool)> {
+        (0..self.len()).map(move |i| (self.row(i), self.label(i)))
+    }
+
+    /// Appends all rows of `other` (same arity required).
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(self.num_features, other.num_features, "arity mismatch");
+        self.values.extend_from_slice(&other.values);
+        self.labels.extend_from_slice(&other.labels);
+    }
+
+    /// Mutable access to the raw values; used by [`MinMaxScaler::transform`]
+    /// to scale in place.
+    ///
+    /// [`MinMaxScaler::transform`]: crate::scaler::MinMaxScaler::transform
+    pub(crate) fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_access() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0, 2.0], true);
+        d.push(&[3.0, 4.0], false);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.row(0), &[1.0, 2.0]);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert!(d.label(0));
+        assert!(!d.label(1));
+        assert_eq!(d.num_positive(), 1);
+        assert_eq!(d.num_features(), 2);
+    }
+
+    #[test]
+    fn iteration_and_extend() {
+        let mut a = Dataset::new(1);
+        a.push(&[1.0], true);
+        let mut b = Dataset::new(1);
+        b.push(&[2.0], false);
+        a.extend_from(&b);
+        let collected: Vec<_> = a.iter().map(|(r, l)| (r[0], l)).collect();
+        assert_eq!(collected, vec![(1.0, true), (2.0, false)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_mismatch_panics() {
+        let mut d = Dataset::new(2);
+        d.push(&[1.0], true);
+    }
+}

@@ -1,0 +1,33 @@
+//! Minimal machine-learning substrate for the converging-pairs classifier.
+//!
+//! The paper's classification-based candidate selector trains a logistic
+//! regression (it uses LIBLINEAR) on per-node structural features,
+//! normalized to `[-1, 1]`, and ranks nodes by the predicted probability of
+//! belonging to the greedy vertex cover of the pair graph `G^p_k`. No
+//! ML crate is in the approved offline dependency set, so this crate
+//! implements the needed pieces from scratch:
+//!
+//! * [`dataset::Dataset`] — a dense row-major feature matrix with binary
+//!   labels.
+//! * [`scaler::MinMaxScaler`] — per-feature affine scaling to `[-1, 1]`
+//!   (LIBLINEAR's recommended preprocessing, and what the paper states it
+//!   does with its features).
+//! * [`logreg::LogisticRegression`] — L2-regularized binary logistic
+//!   regression trained by full-batch gradient descent with backtracking
+//!   line search; deterministic, no hyper-parameter tuning required at the
+//!   problem sizes involved (tens of thousands of rows, ~a dozen features).
+//! * [`metrics`] — accuracy/precision/recall, ROC AUC and precision@k —
+//!   the last two matter because the selector consumes a *ranking*, not a
+//!   hard decision.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod logreg;
+pub mod metrics;
+pub mod scaler;
+
+pub use dataset::Dataset;
+pub use logreg::{LogisticRegression, TrainConfig};
+pub use scaler::MinMaxScaler;

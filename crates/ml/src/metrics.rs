@@ -1,0 +1,147 @@
+//! Classification and ranking metrics.
+//!
+//! The converging-pairs selector consumes a *ranking* of nodes (top-m by
+//! predicted probability), so besides the usual thresholded metrics this
+//! module provides ROC AUC and precision@k.
+
+/// Fraction of correct hard predictions.
+pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let hits = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(p, a)| p == a)
+        .count();
+    hits as f64 / actual.len() as f64
+}
+
+/// Precision of the positive class (0 when nothing was predicted positive).
+pub fn precision(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    let tp = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(&p, &a)| p && a)
+        .count();
+    let pp = predicted.iter().filter(|&&p| p).count();
+    if pp == 0 {
+        0.0
+    } else {
+        tp as f64 / pp as f64
+    }
+}
+
+/// Recall of the positive class (0 when there are no actual positives).
+pub fn recall(predicted: &[bool], actual: &[bool]) -> f64 {
+    assert_eq!(predicted.len(), actual.len());
+    let tp = predicted
+        .iter()
+        .zip(actual)
+        .filter(|(&p, &a)| p && a)
+        .count();
+    let ap = actual.iter().filter(|&&a| a).count();
+    if ap == 0 {
+        0.0
+    } else {
+        tp as f64 / ap as f64
+    }
+}
+
+/// Area under the ROC curve of a score ranking, via the Mann–Whitney
+/// statistic with tie correction. Returns 0.5 when either class is empty.
+pub fn roc_auc(scores: &[f64], actual: &[bool]) -> f64 {
+    assert_eq!(scores.len(), actual.len());
+    let n_pos = actual.iter().filter(|&&a| a).count();
+    let n_neg = actual.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank the scores ascending; ties share the average rank.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0; // 1-based
+        for &k in &idx[i..=j] {
+            if actual[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Fraction of the top-`k` scored items that are actual positives.
+pub fn precision_at_k(scores: &[f64], actual: &[bool], k: usize) -> f64 {
+    assert_eq!(scores.len(), actual.len());
+    let k = k.min(scores.len());
+    if k == 0 {
+        return 0.0;
+    }
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
+    let hits = idx[..k].iter().filter(|&&i| actual[i]).count();
+    hits as f64 / k as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholded_metrics() {
+        let pred = [true, true, false, false];
+        let act = [true, false, true, false];
+        assert_eq!(accuracy(&pred, &act), 0.5);
+        assert_eq!(precision(&pred, &act), 0.5);
+        assert_eq!(recall(&pred, &act), 0.5);
+    }
+
+    #[test]
+    fn degenerate_metrics() {
+        assert_eq!(accuracy(&[], &[]), 0.0);
+        assert_eq!(precision(&[false], &[true]), 0.0);
+        assert_eq!(recall(&[false], &[false]), 0.0);
+    }
+
+    #[test]
+    fn auc_perfect_and_inverted() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let act = [false, false, true, true];
+        assert!((roc_auc(&scores, &act) - 1.0).abs() < 1e-12);
+        let inv = [true, true, false, false];
+        assert!((roc_auc(&scores, &inv) - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_with_ties_is_half_credit() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let act = [true, false, true, false];
+        assert!((roc_auc(&scores, &act) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_single_class_is_half() {
+        assert_eq!(roc_auc(&[0.3, 0.4], &[true, true]), 0.5);
+    }
+
+    #[test]
+    fn precision_at_k_ranks_descending() {
+        let scores = [0.9, 0.1, 0.8, 0.2];
+        let act = [true, true, false, false];
+        assert_eq!(precision_at_k(&scores, &act, 1), 1.0);
+        assert_eq!(precision_at_k(&scores, &act, 2), 0.5);
+        assert_eq!(precision_at_k(&scores, &act, 10), 0.5); // clipped to n
+        assert_eq!(precision_at_k(&scores, &act, 0), 0.0);
+    }
+}

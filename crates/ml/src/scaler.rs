@@ -1,0 +1,118 @@
+//! Per-feature min-max scaling to `[-1, 1]`.
+
+use crate::dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Affine per-feature scaler mapping the fitted min/max range to `[-1, 1]`.
+///
+/// The paper normalizes all classifier features into `[-1, 1]`; a scaler is
+/// fitted on the *training* snapshot pair and then applied to the test
+/// features (test values outside the fitted range extrapolate beyond
+/// `[-1, 1]`, which is fine for a linear model).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MinMaxScaler {
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+}
+
+impl MinMaxScaler {
+    /// Fits the scaler to a dataset's feature columns.
+    ///
+    /// Constant columns (min == max) map to 0.
+    pub fn fit(data: &Dataset) -> Self {
+        let k = data.num_features();
+        let mut mins = vec![f64::INFINITY; k];
+        let mut maxs = vec![f64::NEG_INFINITY; k];
+        for (row, _) in data.iter() {
+            for (j, &v) in row.iter().enumerate() {
+                mins[j] = mins[j].min(v);
+                maxs[j] = maxs[j].max(v);
+            }
+        }
+        if data.is_empty() {
+            mins.iter_mut().for_each(|m| *m = 0.0);
+            maxs.iter_mut().for_each(|m| *m = 0.0);
+        }
+        MinMaxScaler { mins, maxs }
+    }
+
+    /// Number of features the scaler was fitted on.
+    pub fn num_features(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales a single row in place.
+    pub fn transform_row(&self, row: &mut [f64]) {
+        assert_eq!(row.len(), self.mins.len(), "feature arity mismatch");
+        for (j, v) in row.iter_mut().enumerate() {
+            let span = self.maxs[j] - self.mins[j];
+            *v = if span == 0.0 {
+                0.0
+            } else {
+                2.0 * (*v - self.mins[j]) / span - 1.0
+            };
+        }
+    }
+
+    /// Scales every row of a dataset in place.
+    pub fn transform(&self, data: &mut Dataset) {
+        let k = data.num_features();
+        assert_eq!(k, self.mins.len(), "feature arity mismatch");
+        for chunk in data.values_mut().chunks_exact_mut(k) {
+            self.transform_row(chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut d = Dataset::new(3);
+        d.push(&[0.0, 10.0, 5.0], true);
+        d.push(&[4.0, 20.0, 5.0], false);
+        d.push(&[2.0, 15.0, 5.0], false);
+        d
+    }
+
+    #[test]
+    fn maps_to_unit_interval() {
+        let mut d = sample();
+        let s = MinMaxScaler::fit(&d);
+        s.transform(&mut d);
+        assert_eq!(d.row(0), &[-1.0, -1.0, 0.0]);
+        assert_eq!(d.row(1), &[1.0, 1.0, 0.0]);
+        assert_eq!(d.row(2), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_column_maps_to_zero() {
+        let mut d = Dataset::new(1);
+        d.push(&[7.0], true);
+        d.push(&[7.0], false);
+        let s = MinMaxScaler::fit(&d);
+        s.transform(&mut d);
+        assert_eq!(d.row(0), &[0.0]);
+    }
+
+    #[test]
+    fn test_rows_can_extrapolate() {
+        let d = sample();
+        let s = MinMaxScaler::fit(&d);
+        let mut row = vec![8.0, 10.0, 5.0];
+        s.transform_row(&mut row);
+        assert_eq!(row[0], 3.0); // beyond the fitted max
+        assert_eq!(row[1], -1.0);
+    }
+
+    #[test]
+    fn empty_dataset_fits_trivially() {
+        let d = Dataset::new(2);
+        let s = MinMaxScaler::fit(&d);
+        let mut row = vec![1.0, -1.0];
+        s.transform_row(&mut row);
+        assert_eq!(row, vec![0.0, 0.0]);
+        assert_eq!(s.num_features(), 2);
+    }
+}

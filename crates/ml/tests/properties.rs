@@ -1,0 +1,94 @@
+//! Property-based tests for the ML substrate.
+
+use cp_ml::metrics::{precision_at_k, roc_auc};
+use cp_ml::{Dataset, LogisticRegression, MinMaxScaler, TrainConfig};
+use proptest::prelude::*;
+
+fn dataset(rows: Vec<(Vec<f64>, bool)>) -> Option<Dataset> {
+    let arity = rows.first()?.0.len();
+    let mut d = Dataset::new(arity);
+    for (row, label) in rows {
+        if row.len() != arity {
+            return None;
+        }
+        d.push(&row, label);
+    }
+    Some(d)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scaler_maps_fitted_data_into_unit_box(
+        rows in prop::collection::vec(
+            (prop::collection::vec(-1e6f64..1e6, 3), any::<bool>()),
+            1..40,
+        )
+    ) {
+        let mut d = dataset(rows).unwrap();
+        let scaler = MinMaxScaler::fit(&d);
+        scaler.transform(&mut d);
+        for (row, _) in d.iter() {
+            for &v in row {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v), "value {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn predicted_probabilities_in_unit_interval(
+        rows in prop::collection::vec(
+            (prop::collection::vec(-10.0f64..10.0, 2), any::<bool>()),
+            2..30,
+        ),
+        probe in prop::collection::vec(-100.0f64..100.0, 2),
+    ) {
+        let d = dataset(rows).unwrap();
+        let model = LogisticRegression::train(&d, &TrainConfig::default());
+        let p = model.predict_proba(&probe);
+        prop_assert!((0.0..=1.0).contains(&p));
+        prop_assert!(p.is_finite());
+    }
+
+    #[test]
+    fn auc_is_within_bounds_and_flip_symmetric(
+        scored in prop::collection::vec((-100.0f64..100.0, any::<bool>()), 2..60)
+    ) {
+        let scores: Vec<f64> = scored.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<bool> = scored.iter().map(|(_, l)| *l).collect();
+        let auc = roc_auc(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating the scores flips the ranking: AUC' = 1 - AUC, except in
+        // the degenerate single-class case (both are exactly 0.5) or under
+        // ties (tie credit is symmetric).
+        let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+        let flipped = roc_auc(&neg, &labels);
+        prop_assert!((auc + flipped - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn precision_at_k_bounds(
+        scored in prop::collection::vec((-100.0f64..100.0, any::<bool>()), 1..50),
+        k in 0usize..60,
+    ) {
+        let scores: Vec<f64> = scored.iter().map(|(s, _)| *s).collect();
+        let labels: Vec<bool> = scored.iter().map(|(_, l)| *l).collect();
+        let p = precision_at_k(&scores, &labels, k);
+        prop_assert!((0.0..=1.0).contains(&p));
+    }
+
+    #[test]
+    fn training_loss_beats_trivial_model_on_separable_data(gap in 0.5f64..5.0) {
+        // Positive iff feature > gap; model must classify train data well.
+        let mut d = Dataset::new(1);
+        for i in 0..40 {
+            let x = i as f64 / 5.0;
+            d.push(&[x], x > gap);
+        }
+        prop_assume!(d.num_positive() >= 2 && d.num_positive() <= 38);
+        let model = LogisticRegression::train(&d, &TrainConfig::default());
+        let correct = d.iter().filter(|(r, l)| model.predict(r) == *l).count();
+        prop_assert!(correct as f64 / d.len() as f64 >= 0.9, "{correct}/40");
+    }
+}

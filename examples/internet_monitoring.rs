@@ -1,0 +1,56 @@
+//! AS-level Internet topology monitoring — the paper's headline number:
+//! "for the Internet links dataset, with a budget of just 0.5 % of the
+//! nodes, we are able to locate over 90 % of the top-k converging pairs."
+//!
+//! The example replays that experiment on the Internet-links emulator at a
+//! reduced scale and reports coverage for several budgets around 0.5 %.
+//!
+//! ```text
+//! cargo run --release --example internet_monitoring
+//! ```
+
+use converging_pairs::core::selectors::DEFAULT_LANDMARKS;
+use converging_pairs::prelude::*;
+
+fn main() {
+    let profile = DatasetProfile::scaled(DatasetKind::InternetLinks, 0.25);
+    let (g1, g2) = profile.eval_pair(42);
+    let n = g1.num_active_nodes();
+    println!(
+        "AS topology: {} ASes, {} -> {} links",
+        n,
+        g1.num_edges(),
+        g2.num_edges()
+    );
+
+    println!("computing exact ground truth (all-pairs BFS)...");
+    let exact = exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 4);
+    println!(
+        "delta_max = {}, k = {} pairs with delta >= {}",
+        exact.delta_max,
+        exact.k(),
+        exact.delta_min
+    );
+
+    println!("\n{:>9} {:>8} {:>12} {:>10}", "budget m", "% of n", "coverage %", "SSSPs");
+    for pct_of_n in [0.25f64, 0.5, 1.0, 2.0] {
+        let m = ((n as f64) * pct_of_n / 100.0).round().max(4.0) as u64;
+        let mut selector = SelectorKind::Mmsd {
+            landmarks: DEFAULT_LANDMARKS,
+        }
+        .build(7);
+        let result = budgeted_top_k(&g1, &g2, selector.as_mut(), m, &exact.spec());
+        println!(
+            "{:>9} {:>8.2} {:>12.1} {:>10}",
+            m,
+            pct_of_n,
+            100.0 * coverage(&result.pairs, &exact),
+            result.budget.total()
+        );
+    }
+    println!(
+        "\n(The paper reports > 90 % coverage at 0.5 % of the nodes on the\n\
+         real CAIDA trace; the emulator reproduces the trend, not the\n\
+         absolute trace values.)"
+    );
+}

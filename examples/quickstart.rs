@@ -1,0 +1,67 @@
+//! Quickstart: find the top-k converging pairs of a small evolving graph,
+//! exactly and on a budget.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use converging_pairs::prelude::*;
+
+fn main() {
+    // An evolving graph over 40 nodes: a ring (distance up to 20 between
+    // opposite nodes), then chords arrive over time and pull regions of
+    // the ring together.
+    let n = 40u32;
+    let mut edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect();
+    for &(a, b) in &[(0, 20), (5, 25), (10, 30), (3, 33), (15, 35), (8, 28)] {
+        edges.push((NodeId(a), NodeId(b)));
+    }
+    let temporal = TemporalGraph::from_sequence(n as usize, edges);
+
+    // The standard snapshot convention: G_t1 = 80 % of the edges, G_t2 = all.
+    let (g1, g2) = temporal.snapshot_pair(0.8, 1.0);
+    println!(
+        "G_t1: {} nodes / {} edges; G_t2: {} edges",
+        g1.num_active_nodes(),
+        g1.num_edges(),
+        g2.num_edges()
+    );
+
+    // Exact ground truth: all pairs whose distance dropped by at least
+    // delta_max - 1 (the paper's tie-free top-k convention).
+    let exact = exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 4);
+    println!(
+        "\nexact: delta_max = {}, k = {} pairs with delta >= {}",
+        exact.delta_max,
+        exact.k(),
+        exact.delta_min
+    );
+    for p in exact.pairs.iter().take(5) {
+        println!("  pair ({}, {})  delta = {}", p.pair.0, p.pair.1, p.delta);
+    }
+
+    // The cover view: how few SSSP sources would suffice in hindsight?
+    let gpk = PairGraph::new(&exact.pairs);
+    let cover = gpk.greedy_vertex_cover();
+    println!(
+        "pair graph: {} endpoints, greedy cover of size {}",
+        gpk.num_endpoints(),
+        cover.nodes.len()
+    );
+
+    // Budgeted run: m = 6 candidates (12 SSSPs on a 40-node graph) with
+    // the MMSD hybrid selector.
+    let mut selector = SelectorKind::Mmsd { landmarks: 3 }.build(42);
+    let result = budgeted_top_k(&g1, &g2, selector.as_mut(), 6, &exact.spec());
+    let cov = coverage(&result.pairs, &exact);
+    println!(
+        "\nbudgeted (m = 6, {} SSSPs spent): found {}/{} pairs ({:.0}% coverage)",
+        result.budget.total(),
+        result.pairs.len().min(exact.k()),
+        exact.k(),
+        100.0 * cov
+    );
+    for p in result.pairs.iter().take(5) {
+        println!("  found ({}, {})  delta = {}", p.pair.0, p.pair.1, p.delta);
+    }
+}

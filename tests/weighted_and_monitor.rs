@@ -1,0 +1,85 @@
+//! Integration tests for the weighted-graph path (the paper defines the
+//! problem on "undirected (weighted) graphs" even though its evaluation is
+//! unweighted) and for the continuous-monitoring extension.
+
+use converging_pairs::core::monitor::{ConvergenceMonitor, MonitorConfig};
+use converging_pairs::prelude::*;
+use converging_pairs::graph::GraphBuilder;
+
+/// Builds a weighted path 0-1-...-last with the given per-edge weight,
+/// plus optional extra weighted edges.
+fn weighted_path(n: usize, weight: u32, extra: &[(u32, u32, u32)]) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for i in 0..(n as u32 - 1) {
+        b.add_weighted_edge(NodeId(i), NodeId(i + 1), weight);
+    }
+    for &(u, v, w) in extra {
+        b.add_weighted_edge(NodeId(u), NodeId(v), w);
+    }
+    b.build()
+}
+
+#[test]
+fn weighted_exact_top_k_uses_dijkstra() {
+    // Path of weight-5 edges; the late shortcut (0, 7) has weight 3, so
+    // d(0,7) drops from 35 to 3 -> delta 32.
+    let g1 = weighted_path(8, 5, &[]);
+    let g2 = weighted_path(8, 5, &[(0, 7, 3)]);
+    let exact = exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 0 }, 2);
+    assert_eq!(exact.delta_max, 32);
+    assert_eq!(exact.pairs[0].pair, (NodeId(0), NodeId(7)));
+}
+
+#[test]
+fn weighted_budgeted_pipeline_matches_exact_at_full_budget() {
+    let g1 = weighted_path(10, 4, &[(2, 6, 1)]);
+    let g2 = weighted_path(10, 4, &[(2, 6, 1), (0, 9, 2), (1, 8, 3)]);
+    let exact = exact_top_k(&g1, &g2, &TopKSpec::Threshold { delta_min: 5 }, 2);
+    assert!(!exact.pairs.is_empty());
+    let mut sel = SelectorKind::SumDiff { landmarks: 3 }.build(1);
+    let result = budgeted_top_k(&g1, &g2, sel.as_mut(), 10, &exact.spec());
+    assert_eq!(result.pair_set(), exact.pair_set());
+}
+
+#[test]
+fn weighted_budget_accounting_counts_dijkstra_runs() {
+    let g1 = weighted_path(12, 2, &[]);
+    let g2 = weighted_path(12, 2, &[(0, 11, 1)]);
+    let mut sel = SelectorKind::MaxAvg.build(0);
+    let result = budgeted_top_k(&g1, &g2, sel.as_mut(), 3, &TopKSpec::TopK(5));
+    assert!(result.budget.total() <= 6);
+    assert!(!result.pairs.is_empty());
+}
+
+#[test]
+fn monitor_over_generated_stream() {
+    // Watch a growing Facebook-like graph in 4 windows; the monitor must
+    // keep budgets per step and accumulate pair history.
+    let t = DatasetProfile::scaled(DatasetKind::Facebook, 0.04).generate(9);
+    let cuts = [0.7, 0.8, 0.9, 1.0];
+    let mut snaps = cuts.iter().map(|&f| t.snapshot_at_fraction(f));
+    let first = snaps.next().unwrap();
+    let m = 12;
+    let mut monitor = ConvergenceMonitor::new(
+        first,
+        MonitorConfig {
+            m,
+            selector: SelectorKind::Masd { landmarks: 5 },
+            spec: TopKSpec::TopK(50),
+            seed: 3,
+        },
+    );
+    let mut total_pairs = 0;
+    for snap in snaps {
+        let step = monitor.advance(snap);
+        assert!(step.result.budget.total() <= 2 * m);
+        total_pairs += step.result.pairs.len();
+    }
+    assert_eq!(monitor.steps(), 3);
+    assert!(total_pairs > 0, "no convergence detected across any window");
+    // History is consistent: every persistent pair was seen >= once.
+    for (_, h) in monitor.persistent_pairs(1) {
+        assert!(h.times_seen >= 1);
+        assert!(h.last_seen_step >= 1 && h.last_seen_step <= 3);
+    }
+}
