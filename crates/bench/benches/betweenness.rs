@@ -2,10 +2,10 @@
 //! cost of the IncBet baseline that the paper's budget model does not even
 //! charge for.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_gen::datasets::{DatasetKind, DatasetProfile};
 use cp_graph::betweenness::{betweenness_exact, betweenness_sampled};
 use cp_graph::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_betweenness(c: &mut Criterion) {

@@ -2,10 +2,10 @@
 //! graphs of growing size (the lazy-heap greedy is near-linear; this bench
 //! guards that property).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_core::exact::ConvergingPair;
 use cp_core::gpk::PairGraph;
 use cp_graph::NodeId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;

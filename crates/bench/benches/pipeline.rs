@@ -2,12 +2,12 @@
 //! all-pairs baseline — the speed/coverage trade-off the whole paper is
 //! about, in wall-clock terms.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_core::exact::{exact_top_k, TopKSpec};
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::budgeted_top_k;
 use cp_gen::datasets::{DatasetKind, DatasetProfile};
 use cp_graph::Graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn eval_pair(scale: f64) -> (Graph, Graph) {
@@ -22,9 +22,7 @@ fn bench_exact_baseline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("all_pairs_topk", |b| {
         b.iter(|| {
-            black_box(
-                exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 4).k(),
-            )
+            black_box(exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 4).k())
         });
     });
     group.finish();

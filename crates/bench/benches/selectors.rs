@@ -2,11 +2,11 @@
 //! landmark-count ablation (the paper fixes l = 10; this shows why more
 //! landmarks do not pay for themselves).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use cp_core::oracle::SnapshotOracle;
 use cp_core::selectors::SelectorKind;
 use cp_gen::datasets::{DatasetKind, DatasetProfile};
 use cp_graph::Graph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn eval_pair() -> (Graph, Graph) {
@@ -29,17 +29,13 @@ fn bench_rank_cost(c: &mut Criterion) {
         SelectorKind::Random,
     ];
     for kind in kinds {
-        group.bench_with_input(
-            BenchmarkId::new("kind", kind.name()),
-            &kind,
-            |b, &kind| {
-                b.iter(|| {
-                    let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 100);
-                    let mut sel = kind.build(3);
-                    black_box(sel.rank(&mut oracle).len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("kind", kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 100);
+                let mut sel = kind.build(3);
+                black_box(sel.rank(&mut oracle).len())
+            });
+        });
     }
     group.finish();
 }

@@ -1,11 +1,11 @@
 //! Microbenchmarks for the SSSP layer — the paper's unit of computational
 //! cost. Establishes what one "budget unit" costs on each dataset shape.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cp_gen::datasets::{DatasetKind, DatasetProfile};
 use cp_graph::bfs::{bfs_into, BfsWorkspace};
 use cp_graph::dijkstra::dijkstra;
 use cp_graph::{GraphBuilder, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
 
 fn bench_bfs_per_dataset(c: &mut Criterion) {
@@ -15,20 +15,16 @@ fn bench_bfs_per_dataset(c: &mut Criterion) {
             .generate(7)
             .snapshot_at_fraction(1.0);
         group.throughput(Throughput::Elements(g.num_edges() as u64));
-        group.bench_with_input(
-            BenchmarkId::new("dataset", kind.name()),
-            &g,
-            |b, g| {
-                let mut ws = BfsWorkspace::new();
-                let mut dist = Vec::new();
-                let mut src = 0u32;
-                b.iter(|| {
-                    bfs_into(g, NodeId(src % g.num_nodes() as u32), &mut dist, &mut ws);
-                    src = src.wrapping_add(97);
-                    black_box(dist.len())
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("dataset", kind.name()), &g, |b, g| {
+            let mut ws = BfsWorkspace::new();
+            let mut dist = Vec::new();
+            let mut src = 0u32;
+            b.iter(|| {
+                bfs_into(g, NodeId(src % g.num_nodes() as u32), &mut dist, &mut ws);
+                src = src.wrapping_add(97);
+                black_box(dist.len())
+            });
+        });
     }
     group.finish();
 }

@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices DESIGN.md §7 calls out:
+//! Ablation studies for the design choices DESIGN.md §8 calls out:
 //!
 //! 1. landmark count `l` (the paper fixes 10 and reports that more did not
 //!    help) — coverage at a fixed budget as `l` varies;
@@ -73,7 +73,9 @@ fn main() {
         rows.push(cells);
     }
     print_table(
-        &format!("Ablation 2+3: classifier positive class and class weighting (coverage % at m = {m})"),
+        &format!(
+            "Ablation 2+3: classifier positive class and class weighting (coverage % at m = {m})"
+        ),
         &["variant", "Actors", "Internet links", "Facebook", "DBLP"],
         &rows,
     );

@@ -43,7 +43,14 @@ fn main() {
     }
     print_table(
         "Table 2: dataset characteristics",
-        &["dataset", "nodes t1/t2", "edges t1/t2", "diam t1/t2", "max delta", "not-conn"],
+        &[
+            "dataset",
+            "nodes t1/t2",
+            "edges t1/t2",
+            "diam t1/t2",
+            "max delta",
+            "not-conn",
+        ],
         &rows,
     );
     eprintln!("table 2 done at {:?}", started.elapsed());
@@ -65,7 +72,14 @@ fn main() {
     }
     print_table(
         "Table 3: G^p_k characteristics",
-        &["dataset", "delta", "value", "endpoints", "pairs", "maxcover"],
+        &[
+            "dataset",
+            "delta",
+            "value",
+            "endpoints",
+            "pairs",
+            "maxcover",
+        ],
         &rows,
     );
     eprintln!("table 3 done at {:?}", started.elapsed());
@@ -75,10 +89,11 @@ fn main() {
     // scan that Figure 3 needs, so it is recorded here instead of being
     // recomputed (IncBet's betweenness pass is the expensive part).
     let suite = SelectorKind::table5_suite();
-    let mut best_per_dataset: Vec<(SelectorKind, f64)> =
-        vec![(suite[0], -1.0); all.len()];
+    let mut best_per_dataset: Vec<(SelectorKind, f64)> = vec![(suite[0], -1.0); all.len()];
+    let mut stats_rows: Vec<Vec<String>> = Vec::new();
     for (di, snaps) in all.iter_mut().enumerate() {
         let mut rows = Vec::new();
+        let mut agg = cp_core::topk::PipelineStats::default();
         for &kind in &suite {
             let mut cells = vec![kind.name().to_string()];
             for slack in slack_levels {
@@ -86,10 +101,27 @@ fn main() {
                 if slack == 1 && row.coverage > best_per_dataset[di].1 {
                     best_per_dataset[di] = (kind, row.coverage);
                 }
+                agg.selector_secs += row.stats.selector_secs;
+                agg.prefetch_secs += row.stats.prefetch_secs;
+                agg.scan_secs += row.stats.scan_secs;
+                agg.sssp_computed += row.stats.sssp_computed;
+                agg.cache_hits += row.stats.cache_hits;
+                agg.cache_misses += row.stats.cache_misses;
+                agg.threads = row.stats.threads;
                 cells.push(pct(row.coverage));
             }
             rows.push(cells);
         }
+        stats_rows.push(vec![
+            snaps.name.clone(),
+            agg.threads.to_string(),
+            agg.sssp_computed.to_string(),
+            agg.cache_hits.to_string(),
+            agg.cache_misses.to_string(),
+            format!("{:.3}", agg.selector_secs),
+            format!("{:.3}", agg.prefetch_secs),
+            format!("{:.3}", agg.scan_secs),
+        ]);
         let header: Vec<String> = std::iter::once("selector".to_string())
             .chain(slack_levels.iter().map(|s| {
                 format!("d=max-{s} (k={})", {
@@ -106,6 +138,20 @@ fn main() {
         );
         eprintln!("table 5 [{}] done at {:?}", snaps.name, started.elapsed());
     }
+    print_table(
+        "Pipeline instrumentation: Table 5 suite totals per dataset",
+        &[
+            "dataset",
+            "threads",
+            "sssp",
+            "cache hit",
+            "cache miss",
+            "select s",
+            "prefetch s",
+            "scan s",
+        ],
+        &stats_rows,
+    );
 
     // ---- Table 1 (budget split, measured) ----
     {
@@ -140,7 +186,11 @@ fn main() {
             row.budget.total().to_string(),
         ]);
         print_table(
-            &format!("Table 1 [{}]: measured SSSP split, cap 2m = {}", snaps.name, 2 * m100),
+            &format!(
+                "Table 1 [{}]: measured SSSP split, cap 2m = {}",
+                snaps.name,
+                2 * m100
+            ),
             &["approach", "generation", "topk", "total"],
             &rows,
         );
@@ -166,7 +216,13 @@ fn main() {
     }
     print_table(
         "Table 6: unbudgeted Incidence (delta = max-1)",
-        &["dataset", "coverage %", "|A|", "|A| % of G_t1", "m % of G_t1"],
+        &[
+            "dataset",
+            "coverage %",
+            "|A|",
+            "|A| % of G_t1",
+            "m % of G_t1",
+        ],
         &rows,
     );
 
@@ -186,7 +242,10 @@ fn main() {
             .collect();
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 1 [{}]: coverage % vs budget (delta = max-1)", snaps.name),
+            &format!(
+                "Figure 1 [{}]: coverage % vs budget (delta = max-1)",
+                snaps.name
+            ),
             &header_refs,
             &rows,
         );
@@ -206,7 +265,11 @@ fn main() {
                 let mut cells = vec![kind.name().to_string()];
                 for &m in &budgets {
                     let q = candidate_quality(snaps, kind, m, 1, opts.seed);
-                    cells.push(pct(if in_cover { q.in_greedy_cover } else { q.in_gpk }));
+                    cells.push(pct(if in_cover {
+                        q.in_greedy_cover
+                    } else {
+                        q.in_gpk
+                    }));
                 }
                 rows.push(cells);
             }
@@ -263,7 +326,10 @@ fn main() {
             .collect();
         let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
         print_table(
-            &format!("Figure 3 [{}]: classifiers vs best (delta = max-1)", snaps.name),
+            &format!(
+                "Figure 3 [{}]: classifiers vs best (delta = max-1)",
+                snaps.name
+            ),
             &header_refs,
             &rows,
         );

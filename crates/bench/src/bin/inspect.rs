@@ -6,9 +6,7 @@
 
 use cp_bench::Options;
 use cp_core::oracle::SnapshotOracle;
-use cp_core::selectors::{
-    dispersion_pick, landmark_change_scores, DispersionMode,
-};
+use cp_core::selectors::{dispersion_pick, landmark_change_scores, DispersionMode};
 use cp_core::PairGraph;
 use cp_gen::datasets::DatasetKind;
 use cp_graph::degrees::top_m_by_score_u32;
@@ -49,8 +47,7 @@ fn main() {
                     use rand::{Rng, SeedableRng};
                     let mut rng = rand::rngs::StdRng::seed_from_u64(opts.seed);
                     let g1 = &snaps.g1;
-                    let pool: Vec<NodeId> =
-                        g1.nodes().filter(|&u| g1.degree(u) > 0).collect();
+                    let pool: Vec<NodeId> = g1.nodes().filter(|&u| g1.degree(u) > 0).collect();
                     (0..10)
                         .map(|_| pool[rng.random_range(0..pool.len())])
                         .collect()
@@ -59,13 +56,9 @@ fn main() {
             let scores = landmark_change_scores(&mut oracle, &landmarks);
             let ranked = top_m_by_score_u32(&scores.sum, snaps.g1.num_nodes());
             let pos_of = |n: NodeId| ranked.iter().position(|&x| x == n).unwrap_or(usize::MAX);
-            let mut cover_positions: Vec<usize> =
-                cover.nodes.iter().map(|&c| pos_of(c)).collect();
+            let mut cover_positions: Vec<usize> = cover.nodes.iter().map(|&c| pos_of(c)).collect();
             cover_positions.sort_unstable();
-            let top_score = ranked
-                .first()
-                .map(|&u| scores.sum[u.index()])
-                .unwrap_or(0);
+            let top_score = ranked.first().map(|&u| scores.sum[u.index()]).unwrap_or(0);
             println!(
                 "  {label:>7} landmarks {:?}",
                 &landmarks[..landmarks.len().min(6)]

@@ -1,0 +1,117 @@
+//! Machine-readable perf baseline for the parallel pipeline.
+//!
+//! Runs the Table 5 pipeline (every selector of the suite on every
+//! dataset at the paper's budget) twice — once with the oracle pinned to
+//! a single worker thread, once with the configured thread count — and
+//! writes the wall-clock comparison to `BENCH_pipeline.json` in the
+//! current directory. Both runs produce bit-identical pairs and ledgers
+//! (see `crates/core/tests/parallel_equivalence.rs`); only the timing
+//! differs, which is what this baseline records.
+//!
+//! ```text
+//! cargo run --release -p cp-bench --bin pipeline_baseline -- --scale=0.25
+//! ```
+
+use cp_bench::{scaled_budget, Options};
+use cp_core::exact::TopKSpec;
+use cp_core::oracle::SnapshotOracle;
+use cp_core::selectors::SelectorKind;
+use cp_core::topk::run_pipeline;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Timing of one (dataset, thread-count) pipeline sweep.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct SweepTiming {
+    dataset: String,
+    threads: usize,
+    /// Best-of-repeats wall clock of the whole selector suite, seconds.
+    secs: f64,
+    /// SSSPs charged across the suite (identical for every thread count).
+    sssp_computed: u64,
+}
+
+/// The written baseline document.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct Baseline {
+    benchmark: String,
+    scale: f64,
+    seed: u64,
+    m: u64,
+    repeats: u32,
+    threads_multi: usize,
+    sweeps: Vec<SweepTiming>,
+    single_thread_secs: f64,
+    multi_thread_secs: f64,
+    speedup: f64,
+}
+
+const REPEATS: u32 = 3;
+
+fn main() {
+    let opts = Options::from_env();
+    let threads_multi = opts.threads.max(2);
+    let m = scaled_budget(100, opts.scale);
+    let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+    let suite = SelectorKind::table5_suite();
+
+    eprintln!(
+        "pipeline_baseline: scale {}, seed {}, m {m}, 1 vs {threads_multi} threads",
+        opts.scale, opts.seed
+    );
+
+    let all = opts.all_snapshots();
+    let mut sweeps: Vec<SweepTiming> = Vec::new();
+    let mut totals = [0.0f64; 2]; // [single, multi]
+
+    for snaps in &all {
+        for (slot, threads) in [(0usize, 1usize), (1, threads_multi)] {
+            let mut best = f64::INFINITY;
+            let mut sssp = 0u64;
+            for _ in 0..REPEATS {
+                let started = Instant::now();
+                let mut spent = 0u64;
+                for &kind in &suite {
+                    let mut oracle = SnapshotOracle::with_budget(&snaps.g1, &snaps.g2, 2 * m)
+                        .with_threads(threads);
+                    let mut sel = kind.build(opts.seed);
+                    let res = run_pipeline(&mut oracle, sel.as_mut(), &spec);
+                    spent += res.stats.sssp_computed;
+                }
+                best = best.min(started.elapsed().as_secs_f64());
+                sssp = spent;
+            }
+            eprintln!(
+                "  {} @ {threads} thread(s): {best:.3}s ({sssp} SSSPs)",
+                snaps.name
+            );
+            totals[slot] += best;
+            sweeps.push(SweepTiming {
+                dataset: snaps.name.clone(),
+                threads,
+                secs: best,
+                sssp_computed: sssp,
+            });
+        }
+    }
+
+    let baseline = Baseline {
+        benchmark: "table5_pipeline".to_string(),
+        scale: opts.scale,
+        seed: opts.seed,
+        m,
+        repeats: REPEATS,
+        threads_multi,
+        sweeps,
+        single_thread_secs: totals[0],
+        multi_thread_secs: totals[1],
+        speedup: totals[0] / totals[1].max(f64::MIN_POSITIVE),
+    };
+    let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
+    std::fs::write("BENCH_pipeline.json", &rendered).expect("write BENCH_pipeline.json");
+    println!("{rendered}");
+    eprintln!(
+        "wrote BENCH_pipeline.json: {:.3}s single vs {:.3}s multi ({:.2}x)",
+        baseline.single_thread_secs, baseline.multi_thread_secs, baseline.speedup
+    );
+}

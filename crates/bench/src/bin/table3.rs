@@ -30,7 +30,14 @@ fn main() {
             "Table 3: G^p_k characteristics and greedy cover sizes (scale {})",
             opts.scale
         ),
-        &["dataset", "delta", "value", "endpoints", "pairs", "maxcover"],
+        &[
+            "dataset",
+            "delta",
+            "value",
+            "endpoints",
+            "pairs",
+            "maxcover",
+        ],
         &rows,
     );
     println!(

@@ -41,10 +41,7 @@ fn main() {
     let rows: Vec<Vec<String>> = (0..suite.len())
         .map(|i| columns.iter().map(|c| c[i].clone()).collect())
         .collect();
-    let header_flat: Vec<String> = header
-        .iter()
-        .map(|h| h.replace('\n', " "))
-        .collect();
+    let header_flat: Vec<String> = header.iter().map(|h| h.replace('\n', " ")).collect();
     let header_refs: Vec<&str> = header_flat.iter().map(|s| s.as_str()).collect();
     print_table(
         &format!(

@@ -172,10 +172,7 @@ mod tests {
 
     fn bounds(g1: &Graph, g2: &Graph, landmarks: &[u32]) -> DeltaBounds {
         let l: Vec<NodeId> = landmarks.iter().map(|&i| NodeId(i)).collect();
-        DeltaBounds::new(
-            LandmarkIndex::build(g1, &l),
-            LandmarkIndex::build(g2, &l),
-        )
+        DeltaBounds::new(LandmarkIndex::build(g1, &l), LandmarkIndex::build(g2, &l))
     }
 
     #[test]
@@ -187,8 +184,18 @@ mod tests {
             let (u, v) = p.pair;
             let lb = b.delta_lower_bound(u, v).unwrap_or(0);
             let ub = b.delta_upper_bound(u, v).unwrap_or(u32::MAX);
-            assert!(lb <= p.delta, "lb {lb} > delta {} for {:?}", p.delta, p.pair);
-            assert!(ub >= p.delta, "ub {ub} < delta {} for {:?}", p.delta, p.pair);
+            assert!(
+                lb <= p.delta,
+                "lb {lb} > delta {} for {:?}",
+                p.delta,
+                p.pair
+            );
+            assert!(
+                ub >= p.delta,
+                "ub {ub} < delta {} for {:?}",
+                p.delta,
+                p.pair
+            );
         }
     }
 
@@ -200,11 +207,18 @@ mod tests {
             .flat_map(|u| ((u + 1)..10).map(move |v| (NodeId(u), NodeId(v))))
             .collect();
         let certified = b.certify(&all_pairs, 3);
-        assert!(!certified.is_empty(), "landmark at the chord certifies pairs");
+        assert!(
+            !certified.is_empty(),
+            "landmark at the chord certifies pairs"
+        );
         let exact = exact_top_k(&g1, &g2, &TopKSpec::Threshold { delta_min: 3 }, 2);
         let truth = exact.pair_set();
         for c in &certified {
-            assert!(truth.contains(&c.pair), "{:?} certified but not real", c.pair);
+            assert!(
+                truth.contains(&c.pair),
+                "{:?} certified but not real",
+                c.pair
+            );
         }
     }
 
@@ -217,7 +231,10 @@ mod tests {
             .collect();
         let t = b.triage(&pairs, 2);
         let (certified, ruled_out, undecided) = (t.certified, t.ruled_out, t.undecided);
-        assert_eq!(certified.len() + ruled_out.len() + undecided.len(), pairs.len());
+        assert_eq!(
+            certified.len() + ruled_out.len() + undecided.len(),
+            pairs.len()
+        );
         // Soundness of both certain sets.
         let exact = exact_top_k(&g1, &g2, &TopKSpec::Threshold { delta_min: 2 }, 2);
         let truth = exact.pair_set();

@@ -189,7 +189,10 @@ mod tests {
         let res = exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 0 }, 2);
         // d1(0,5)=5, d2(0,5)=1 -> delta 4, the unique max.
         assert_eq!(res.delta_max, 4);
-        assert_eq!(res.pairs, vec![ConvergingPair::new(NodeId(0), NodeId(5), 4)]);
+        assert_eq!(
+            res.pairs,
+            vec![ConvergingPair::new(NodeId(0), NodeId(5), 4)]
+        );
         assert_eq!(res.delta_min, 4);
         assert_eq!(res.k(), 1);
     }

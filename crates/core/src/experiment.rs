@@ -10,9 +10,9 @@
 use crate::coverage::{candidate_precision_against, candidate_precision_endpoints, coverage};
 use crate::exact::{exact_top_k, ExactTopK, TopKSpec};
 use crate::gpk::PairGraph;
-use crate::oracle::BudgetLedger;
+use crate::oracle::{BudgetLedger, SnapshotOracle};
 use crate::selectors::{CandidateSelector, ClassifierConfig, ClassifierSelector, SelectorKind};
-use crate::topk::budgeted_top_k;
+use crate::topk::{run_pipeline, BudgetedResult, PipelineStats};
 use cp_graph::components::components;
 use cp_graph::diameter::diameter_exact;
 use cp_graph::{Graph, TemporalGraph};
@@ -130,6 +130,22 @@ pub struct CoverageRow {
     pub budget: BudgetLedger,
     /// Size of the fully paid candidate set `M`.
     pub num_candidates: usize,
+    /// Wall-clock and cache instrumentation of the pipeline run.
+    pub stats: PipelineStats,
+}
+
+/// Runs the budgeted pipeline on a snapshot bundle, using the bundle's
+/// worker-thread count for the oracle (an explicit `--threads` beats the
+/// `CP_THREADS` default).
+pub fn run_budgeted(
+    snaps: &Snapshots,
+    selector: &mut dyn CandidateSelector,
+    m: u64,
+    spec: &TopKSpec,
+) -> BudgetedResult {
+    let mut oracle =
+        SnapshotOracle::with_budget(&snaps.g1, &snaps.g2, 2 * m).with_threads(snaps.threads);
+    run_pipeline(&mut oracle, selector, spec)
 }
 
 /// Evaluates `selector` on the snapshot pair at budget `m` against the
@@ -147,7 +163,7 @@ pub fn run_selector(
         truth_spec = truth.spec();
         truth_k = truth.k();
     }
-    let result = budgeted_top_k(&snaps.g1, &snaps.g2, selector, m, &truth_spec);
+    let result = run_budgeted(snaps, selector, m, &truth_spec);
     let truth = snaps.truth_cache.get(&slack).expect("cached above");
     CoverageRow {
         dataset: snaps.name.clone(),
@@ -158,6 +174,7 @@ pub fn run_selector(
         coverage: coverage(&result.pairs, truth),
         budget: result.budget,
         num_candidates: result.candidates.len(),
+        stats: result.stats,
     }
 }
 
@@ -264,7 +281,7 @@ pub fn candidate_quality(
 ) -> CandidateQualityRow {
     let truth_spec = snaps.truth(slack).spec();
     let mut selector = kind.build(seed);
-    let result = budgeted_top_k(&snaps.g1, &snaps.g2, selector.as_mut(), m, &truth_spec);
+    let result = run_budgeted(snaps, selector.as_mut(), m, &truth_spec);
     let truth = snaps.truth_cache.get(&slack).expect("cached above");
     let gpk = PairGraph::new(&truth.pairs);
     let cover = gpk.greedy_vertex_cover();
@@ -323,6 +340,9 @@ mod tests {
         assert!(row.coverage >= 0.0 && row.coverage <= 1.0);
         assert!(row.budget.total() <= 10);
         assert!(row.k > 0);
+        assert_eq!(row.stats.sssp_computed, row.budget.total());
+        assert_eq!(row.stats.threads, snaps.threads);
+        assert!(row.stats.cache_misses >= row.budget.total());
     }
 
     #[test]

@@ -135,11 +135,7 @@ impl ConvergenceMonitor {
             .filter(|(_, h)| h.times_seen >= min_steps)
             .map(|(&(u, v), &h)| (ConvergingPair::new(u, v, h.total_delta), h))
             .collect();
-        out.sort_by(|a, b| {
-            b.0.delta
-                .cmp(&a.0.delta)
-                .then(a.0.pair.cmp(&b.0.pair))
-        });
+        out.sort_by(|a, b| b.0.delta.cmp(&a.0.delta).then(a.0.pair.cmp(&b.0.pair)));
         out
     }
 }
@@ -219,8 +215,8 @@ mod tests {
     fn universe_mismatch_panics() {
         let snaps = snapshots();
         let mut monitor = ConvergenceMonitor::new(snaps[0].clone(), config());
-        let small = TemporalGraph::from_sequence(3, vec![(NodeId(0), NodeId(1))])
-            .snapshot_at_fraction(1.0);
+        let small =
+            TemporalGraph::from_sequence(3, vec![(NodeId(0), NodeId(1))]).snapshot_at_fraction(1.0);
         monitor.advance(small);
     }
 }

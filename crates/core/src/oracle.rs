@@ -12,7 +12,24 @@ use cp_graph::bfs::{bfs_into, BfsWorkspace};
 use cp_graph::dijkstra::dijkstra_into;
 use cp_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of pending rows below which a batched prefetch computes inline
+/// instead of spawning workers.
+const PARALLEL_ROW_CUTOFF: usize = 8;
+
+/// Worker threads for batched row computation: `CP_THREADS` when set to a
+/// positive integer, the capped hardware parallelism otherwise.
+pub fn threads_from_env() -> usize {
+    match std::env::var("CP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        Some(t) if t > 0 => t,
+        _ => cp_graph::apsp::default_threads(),
+    }
+}
 
 /// Which accounting bucket an SSSP computation lands in (paper Table 1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -64,6 +81,29 @@ pub enum Snapshot {
     Second,
 }
 
+/// Outcome of a batched prefetch: how each request was resolved.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PrefetchReport {
+    /// Fresh rows admitted and computed, each charged one SSSP.
+    pub computed: usize,
+    /// Requests already satisfied by the cache (free).
+    pub cached: usize,
+    /// Requests the remaining budget could not cover.
+    pub skipped: usize,
+}
+
+/// Outcome of a node-level (pair-atomic) batched prefetch.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NodePrefetchReport {
+    /// Requested nodes that ended with **both** rows cached, in request
+    /// order (duplicates preserved). Exactly the nodes a sequential
+    /// `remaining() < cost_of(u) → skip, else rows(u)` walk would have
+    /// served.
+    pub usable: Vec<NodeId>,
+    /// Per-request accounting.
+    pub rows: PrefetchReport,
+}
+
 /// A pair of snapshots behind a counting, capping, caching SSSP interface.
 ///
 /// ```
@@ -93,6 +133,9 @@ pub struct SnapshotOracle<'a> {
     rows1: HashMap<u32, Vec<u32>>,
     rows2: HashMap<u32, Vec<u32>>,
     ws: BfsWorkspace,
+    threads: usize,
+    cache_hits: u64,
+    cache_misses: u64,
 }
 
 impl<'a> SnapshotOracle<'a> {
@@ -123,7 +166,32 @@ impl<'a> SnapshotOracle<'a> {
             rows1: HashMap::new(),
             rows2: HashMap::new(),
             ws: BfsWorkspace::new(),
+            threads: threads_from_env(),
+            cache_hits: 0,
+            cache_misses: 0,
         }
+    }
+
+    /// Sets the worker-thread count for batched prefetches. Thread count
+    /// never changes results — only wall clock.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.set_threads(threads);
+        self
+    }
+
+    /// Sets the worker-thread count for batched prefetches.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured worker-thread count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// `(hits, misses)`: row requests served from cache vs. computed.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (self.cache_hits, self.cache_misses)
     }
 
     /// The first snapshot.
@@ -218,6 +286,7 @@ impl<'a> SnapshotOracle<'a> {
         };
         if !present {
             self.charge()?;
+            self.cache_misses += 1;
             let graph = match which {
                 Snapshot::First => self.g1,
                 Snapshot::Second => self.g2,
@@ -232,6 +301,8 @@ impl<'a> SnapshotOracle<'a> {
                 Snapshot::First => self.rows1.insert(u.0, dist),
                 Snapshot::Second => self.rows2.insert(u.0, dist),
             };
+        } else {
+            self.cache_hits += 1;
         }
         let rows = match which {
             Snapshot::First => &self.rows1,
@@ -248,6 +319,176 @@ impl<'a> SnapshotOracle<'a> {
             self.rows1.get(&u.0).expect("cached").as_slice(),
             self.rows2.get(&u.0).expect("cached").as_slice(),
         ))
+    }
+
+    /// The cached row of `u` in the chosen snapshot, if present. Never
+    /// computes or charges; safe to call from parallel readers via `&self`.
+    pub fn cached_row(&self, which: Snapshot, u: NodeId) -> Option<&[u32]> {
+        match which {
+            Snapshot::First => self.rows1.get(&u.0).map(Vec::as_slice),
+            Snapshot::Second => self.rows2.get(&u.0).map(Vec::as_slice),
+        }
+    }
+
+    /// Both cached rows of `u`, if both are present. Never computes or
+    /// charges.
+    pub fn cached_rows(&self, u: NodeId) -> Option<(&[u32], &[u32])> {
+        Some((
+            self.rows1.get(&u.0)?.as_slice(),
+            self.rows2.get(&u.0)?.as_slice(),
+        ))
+    }
+
+    /// Batched row prefetch. Admission is **sequential and deterministic**:
+    /// requests are walked in order and each uncached row is charged to the
+    /// current [`Phase`] exactly as a one-at-a-time [`Self::row`] walk
+    /// would, skipping requests once the cap is reached (cached requests
+    /// stay free throughout). The admitted rows are then computed in
+    /// parallel — row contents do not depend on thread count, so the cache,
+    /// the ledger, and every later read are identical at any [`Self::threads`]
+    /// setting.
+    pub fn prefetch_rows(&mut self, requests: &[(Snapshot, NodeId)]) -> PrefetchReport {
+        let mut report = PrefetchReport::default();
+        let mut planned1: HashSet<u32> = HashSet::new();
+        let mut planned2: HashSet<u32> = HashSet::new();
+        let mut jobs: Vec<(Snapshot, u32)> = Vec::new();
+        for &(which, u) in requests {
+            let (cache, planned) = match which {
+                Snapshot::First => (&self.rows1, &mut planned1),
+                Snapshot::Second => (&self.rows2, &mut planned2),
+            };
+            if cache.contains_key(&u.0) || planned.contains(&u.0) {
+                report.cached += 1;
+                self.cache_hits += 1;
+                continue;
+            }
+            if self.charge().is_err() {
+                report.skipped += 1;
+                continue;
+            }
+            self.cache_misses += 1;
+            planned.insert(u.0);
+            jobs.push((which, u.0));
+            report.computed += 1;
+        }
+        self.compute_jobs(&jobs);
+        report
+    }
+
+    /// Node-level batched prefetch with the pipeline's **pair-atomic**
+    /// admission: a node is admitted only if the remaining budget covers
+    /// *both* of its missing rows, and skipped (scanning continues) when it
+    /// does not — the exact `remaining() < cost_of(u) → continue` walk of
+    /// the sequential pipeline and landmark probes, so ledger and candidate
+    /// set are bit-identical to the one-at-a-time path.
+    pub fn prefetch_node_rows(&mut self, nodes: &[NodeId]) -> NodePrefetchReport {
+        let mut report = NodePrefetchReport::default();
+        let mut planned1: HashSet<u32> = HashSet::new();
+        let mut planned2: HashSet<u32> = HashSet::new();
+        let mut jobs: Vec<(Snapshot, u32)> = Vec::new();
+        let mut planned_spend: u64 = 0;
+        for &u in nodes {
+            let have1 = self.rows1.contains_key(&u.0) || planned1.contains(&u.0);
+            let have2 = self.rows2.contains_key(&u.0) || planned2.contains(&u.0);
+            let cost = u64::from(!have1) + u64::from(!have2);
+            let remaining = match self.limit {
+                None => u64::MAX,
+                Some(l) => l.saturating_sub(self.ledger.total() + planned_spend),
+            };
+            if remaining < cost {
+                report.rows.skipped += (!have1) as usize + (!have2) as usize;
+                continue;
+            }
+            if !have1 {
+                planned1.insert(u.0);
+                jobs.push((Snapshot::First, u.0));
+            } else {
+                report.rows.cached += 1;
+                self.cache_hits += 1;
+            }
+            if !have2 {
+                planned2.insert(u.0);
+                jobs.push((Snapshot::Second, u.0));
+            } else {
+                report.rows.cached += 1;
+                self.cache_hits += 1;
+            }
+            planned_spend += cost;
+            report.rows.computed += cost as usize;
+            self.cache_misses += cost;
+            report.usable.push(u);
+        }
+        match self.phase {
+            Phase::Generation => self.ledger.generation += planned_spend,
+            Phase::TopK => self.ledger.topk += planned_spend,
+        }
+        self.compute_jobs(&jobs);
+        report
+    }
+
+    /// Computes the (deduplicated, already charged) row jobs and merges
+    /// them into the caches — in parallel above [`PARALLEL_ROW_CUTOFF`],
+    /// inline otherwise. Each worker owns its scratch; the shared state is
+    /// one atomic job cursor and disjoint per-job result slots.
+    fn compute_jobs(&mut self, jobs: &[(Snapshot, u32)]) {
+        let threads = self.threads.min(jobs.len()).max(1);
+        if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
+            for &(which, u) in jobs {
+                let graph = match which {
+                    Snapshot::First => self.g1,
+                    Snapshot::Second => self.g2,
+                };
+                let mut dist = Vec::new();
+                if graph.is_weighted() {
+                    dijkstra_into(graph, NodeId(u), &mut dist);
+                } else {
+                    bfs_into(graph, NodeId(u), &mut dist, &mut self.ws);
+                }
+                match which {
+                    Snapshot::First => self.rows1.insert(u, dist),
+                    Snapshot::Second => self.rows2.insert(u, dist),
+                };
+            }
+            return;
+        }
+        let (g1, g2) = (self.g1, self.g2);
+        let slots: Vec<parking_lot::Mutex<Vec<u32>>> = (0..jobs.len())
+            .map(|_| parking_lot::Mutex::new(Vec::new()))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut dist = Vec::new();
+                    let mut ws = BfsWorkspace::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let (which, u) = jobs[i];
+                        let graph = match which {
+                            Snapshot::First => g1,
+                            Snapshot::Second => g2,
+                        };
+                        if graph.is_weighted() {
+                            dijkstra_into(graph, NodeId(u), &mut dist);
+                        } else {
+                            bfs_into(graph, NodeId(u), &mut dist, &mut ws);
+                        }
+                        *slots[i].lock() = std::mem::take(&mut dist);
+                    }
+                });
+            }
+        })
+        .expect("prefetch worker panicked");
+        for (slot, &(which, u)) in slots.into_iter().zip(jobs) {
+            let dist = slot.into_inner();
+            match which {
+                Snapshot::First => self.rows1.insert(u, dist),
+                Snapshot::Second => self.rows2.insert(u, dist),
+            };
+        }
     }
 }
 

@@ -209,7 +209,12 @@ fn build_training_rows(
     };
     let mut oracle = SnapshotOracle::unbounded(g1, g2);
     let features = extract_node_features(&mut oracle, config.landmarks, seed);
-    let arity = NODE_FEATURES + if graph_features.is_some() { GRAPH_FEATURES } else { 0 };
+    let arity = NODE_FEATURES
+        + if graph_features.is_some() {
+            GRAPH_FEATURES
+        } else {
+            0
+        };
     let mut data = Dataset::new(arity);
     let mut row_buf = Vec::with_capacity(arity);
     for u in g1.nodes() {
@@ -235,7 +240,9 @@ fn equalize(data: &Dataset, target: usize, rng: &mut StdRng) -> Dataset {
         return data.clone();
     }
     let mut neg_idx: Vec<usize> = (0..data.len()).filter(|&i| !data.label(i)).collect();
-    let keep_neg = target.saturating_sub(data.num_positive()).min(neg_idx.len());
+    let keep_neg = target
+        .saturating_sub(data.num_positive())
+        .min(neg_idx.len());
     // Partial Fisher-Yates.
     for i in 0..keep_neg {
         let j = rng.random_range(i..neg_idx.len());
@@ -342,7 +349,12 @@ impl ClassifierSelector {
 
 impl CandidateSelector for ClassifierSelector {
     fn name(&self) -> String {
-        if self.global { "G-Classifier" } else { "L-Classifier" }.to_string()
+        if self.global {
+            "G-Classifier"
+        } else {
+            "L-Classifier"
+        }
+        .to_string()
     }
 
     fn rank(&mut self, oracle: &mut SnapshotOracle<'_>) -> Vec<NodeId> {
@@ -447,18 +459,14 @@ mod tests {
         let (a1, a2) = train_pair();
         let b1 = ring_with_chords(16, &[]);
         let b2 = ring_with_chords(16, &[(0, 8)]);
-        let mut sel =
-            ClassifierSelector::train_global(&[(&a1, &a2), (&b1, &b2)], config(), 2);
+        let mut sel = ClassifierSelector::train_global(&[(&a1, &a2), (&b1, &b2)], config(), 2);
         assert_eq!(sel.name(), "G-Classifier");
         assert!(sel.is_global());
         let (g1, g2) = test_pair();
         let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 60);
         let ranked = sel.rank(&mut oracle);
         assert!(!ranked.is_empty());
-        assert_eq!(
-            sel.model().weights().len(),
-            NODE_FEATURES + GRAPH_FEATURES
-        );
+        assert_eq!(sel.model().weights().len(), NODE_FEATURES + GRAPH_FEATURES);
     }
 
     #[test]

@@ -7,7 +7,9 @@
 
 use super::CandidateSelector;
 use crate::oracle::SnapshotOracle;
-use cp_graph::degrees::{degree_diff, degree_rel_diff, degree_vector, top_m_by_score_f64, top_m_by_score_u32};
+use cp_graph::degrees::{
+    degree_diff, degree_rel_diff, degree_vector, top_m_by_score_f64, top_m_by_score_u32,
+};
 use cp_graph::NodeId;
 
 /// The three degree-based rankings.
@@ -63,7 +65,7 @@ mod tests {
         let ranked = DegreeSelector::Degree.rank(&mut o);
         assert_eq!(ranked[0], NodeId(0)); // degree 3
         assert_eq!(ranked[1], NodeId(3)); // degree 2
-        // No SSSPs spent.
+                                          // No SSSPs spent.
         assert_eq!(o.ledger().total(), 0);
     }
 

@@ -41,10 +41,10 @@ pub fn dispersion_pick(
     }
     let g1 = oracle.g1();
     let clamp = n as u32; // stand-in for "unreachable", beats any real distance
-    // Only nodes of V_t1 (active in the first snapshot) may be picked:
-    // nodes that arrive later are isolated in G_t1 and would otherwise
-    // win every dispersion argmax at distance "infinity" while being
-    // useless both as landmarks and as candidates.
+                          // Only nodes of V_t1 (active in the first snapshot) may be picked:
+                          // nodes that arrive later are isolated in G_t1 and would otherwise
+                          // win every dispersion argmax at distance "infinity" while being
+                          // useless both as landmarks and as candidates.
     let eligible: Vec<bool> = g1.nodes().map(|u| g1.degree(u) > 0).collect();
     if !eligible.iter().any(|&e| e) {
         return Vec::new();
@@ -94,7 +94,10 @@ pub fn dispersion_pick(
                 continue;
             }
             let score = agg[i];
-            if best.map(|(s, b)| score > s || (score == s && NodeId::new(i) < b)).unwrap_or(true) {
+            if best
+                .map(|(s, b)| score > s || (score == s && NodeId::new(i) < b))
+                .unwrap_or(true)
+            {
                 best = Some((score, NodeId::new(i)));
             }
         }
@@ -169,7 +172,7 @@ mod tests {
         let picks = dispersion_pick(&mut o, 3, DispersionMode::MaxAvg);
         assert_eq!(picks[0], NodeId(1));
         assert_eq!(picks[1], NodeId(6)); // max avg distance from 1
-        // Next maximizes d(.,1)+d(.,6): node 0: 1+6=7. -> endpoint again.
+                                         // Next maximizes d(.,1)+d(.,6): node 0: 1+6=7. -> endpoint again.
         assert_eq!(picks[2], NodeId(0));
     }
 

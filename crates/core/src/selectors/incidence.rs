@@ -89,9 +89,7 @@ impl IncidenceSelector {
                         // Deterministic evenly spaced pivots.
                         let n = g2.num_nodes();
                         let p = p.min(n).max(1);
-                        let pivots: Vec<NodeId> = (0..p)
-                            .map(|i| NodeId::new(i * n / p))
-                            .collect();
+                        let pivots: Vec<NodeId> = (0..p).map(|i| NodeId::new(i * n / p)).collect();
                         betweenness_sampled(g2, &pivots, self.threads)
                     }
                 };
@@ -213,11 +211,7 @@ pub fn selective_expansion(
             .collect();
         neighbors.sort_unstable();
         neighbors.dedup();
-        neighbors.sort_by(|&a, &b| {
-            importance(b)
-                .total_cmp(&importance(a))
-                .then(a.cmp(&b))
-        });
+        neighbors.sort_by(|&a, &b| importance(b).total_cmp(&importance(a)).then(a.cmp(&b)));
         neighbors.truncate(per_round);
         if neighbors.is_empty() {
             break;
@@ -283,10 +277,7 @@ mod tests {
         let mut sel = IncidenceSelector::new(IncidenceRanking::DegreeDiff);
         let ranked = sel.rank(&mut o);
         // All four active nodes gained exactly one edge; ties by id.
-        assert_eq!(
-            ranked,
-            vec![NodeId(0), NodeId(2), NodeId(4), NodeId(5)]
-        );
+        assert_eq!(ranked, vec![NodeId(0), NodeId(2), NodeId(4), NodeId(5)]);
         assert_eq!(o.ledger().total(), 0, "incidence ranking is free");
     }
 

@@ -51,6 +51,12 @@ pub struct LandmarkScores {
 /// Computes both norms of the landmark change vectors for every node,
 /// charging `2 · |landmarks|` SSSPs (minus whatever is already cached).
 /// Landmarks whose rows cannot be paid for are skipped.
+///
+/// Rows for the whole landmark set go through one batched prefetch:
+/// admission is sequential (identical ledger and skip decisions to paying
+/// one landmark at a time), the SSSPs fan out over the oracle's worker
+/// threads, and the accumulation below walks the served landmarks in
+/// request order, so the scores are bit-identical at any thread count.
 pub fn landmark_change_scores(
     oracle: &mut SnapshotOracle<'_>,
     landmarks: &[NodeId],
@@ -58,20 +64,14 @@ pub fn landmark_change_scores(
     let n = oracle.num_nodes();
     let mut sum = vec![0u32; n];
     let mut max = vec![0u32; n];
-    let mut used = Vec::with_capacity(landmarks.len());
-    for &w in landmarks {
-        if oracle.remaining() < oracle.cost_of(w) {
-            continue;
-        }
-        let Ok((d1, d2)) = oracle.rows(w) else {
-            continue;
-        };
+    let used = oracle.prefetch_node_rows(landmarks).usable;
+    for &w in &used {
+        let (d1, d2) = oracle.cached_rows(w).expect("landmark rows prefetched");
         for i in 0..n {
             let delta = distance_decrease(d1[i], d2[i]).unwrap_or(0);
             sum[i] = sum[i].saturating_add(delta);
             max[i] = max[i].max(delta);
         }
-        used.push(w);
     }
     LandmarkScores {
         sum,
@@ -142,7 +142,10 @@ impl CandidateSelector for LandmarkSelector {
         // 2 SSSPs per landmark; keep probes within half the budget so at
         // least as many candidates as landmarks remain affordable.
         let affordable = (oracle.remaining() / 4) as usize;
-        let l = self.landmarks.min(affordable).max(usize::from(oracle.remaining() >= 2));
+        let l = self
+            .landmarks
+            .min(affordable)
+            .max(usize::from(oracle.remaining() >= 2));
         if l == 0 {
             return Vec::new();
         }
@@ -152,7 +155,7 @@ impl CandidateSelector for LandmarkSelector {
             LandmarkPolicy::MaxAvg => dispersion_pick(oracle, l, DispersionMode::MaxAvg),
         };
         let scores = landmark_change_scores(oracle, &landmarks);
-        
+
         match self.norm {
             Norm::L1 => top_m_by_score_u32(&scores.sum, oracle.num_nodes()),
             Norm::LInf => top_m_by_score_u32(&scores.max, oracle.num_nodes()),

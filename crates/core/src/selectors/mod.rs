@@ -14,8 +14,8 @@ mod landmark;
 mod random;
 
 pub use classifier::{
-    extract_node_features, ClassifierConfig, ClassifierSelector, GraphLevelFeatures,
-    NodeFeatures, PositiveClass, GRAPH_FEATURES, NODE_FEATURES, NODE_FEATURE_NAMES,
+    extract_node_features, ClassifierConfig, ClassifierSelector, GraphLevelFeatures, NodeFeatures,
+    PositiveClass, GRAPH_FEATURES, NODE_FEATURES, NODE_FEATURE_NAMES,
 };
 pub use degree::DegreeSelector;
 pub use dispersion::{dispersion_pick, DispersionMode, DispersionSelector};
@@ -23,7 +23,9 @@ pub use incidence::{
     active_nodes, incidence_full, selective_expansion, IncidenceFull, IncidenceRanking,
     IncidenceSelector, SelectiveExpansion,
 };
-pub use landmark::{landmark_change_scores, LandmarkPolicy, LandmarkScores, LandmarkSelector, Norm};
+pub use landmark::{
+    landmark_change_scores, LandmarkPolicy, LandmarkScores, LandmarkSelector, Norm,
+};
 pub use random::RandomSelector;
 
 use crate::oracle::SnapshotOracle;
@@ -212,12 +214,12 @@ impl SelectorKind {
                 landmarks,
                 seed,
             )),
-            SelectorKind::IncDeg => {
-                Box::new(incidence::IncidenceSelector::new(IncidenceRanking::DegreeDiff))
-            }
-            SelectorKind::IncBet => {
-                Box::new(incidence::IncidenceSelector::new(IncidenceRanking::Betweenness))
-            }
+            SelectorKind::IncDeg => Box::new(incidence::IncidenceSelector::new(
+                IncidenceRanking::DegreeDiff,
+            )),
+            SelectorKind::IncBet => Box::new(incidence::IncidenceSelector::new(
+                IncidenceRanking::Betweenness,
+            )),
             SelectorKind::Random => Box::new(random::RandomSelector::new(seed)),
         }
     }

@@ -51,7 +51,10 @@ mod tests {
         assert_eq!(ranked.len(), 5); // node 5 is inactive
         let mut sorted = ranked.clone();
         sorted.sort_unstable();
-        assert_eq!(sorted, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            sorted,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert_eq!(o.ledger().total(), 0);
         assert_eq!(sel.name(), "Random");
     }

@@ -15,7 +15,36 @@ use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
 use crate::oracle::{BudgetLedger, Phase, SnapshotOracle};
 use crate::selectors::CandidateSelector;
 use cp_graph::{distance_decrease, Graph, NodeId};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Candidate count below which the Δ scan runs inline instead of spawning
+/// workers.
+const PARALLEL_SCAN_CUTOFF: usize = 8;
+
+/// Wall-clock and cache instrumentation of one pipeline run. Timings are
+/// measurements, not results: everything else in [`BudgetedResult`] is
+/// bit-identical at any thread count.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PipelineStats {
+    /// Seconds spent in the selector's ranking (Generation phase probes
+    /// included).
+    pub selector_secs: f64,
+    /// Seconds spent admitting and computing candidate rows (TopK phase).
+    pub prefetch_secs: f64,
+    /// Seconds spent in the `M × V` Δ scan.
+    pub scan_secs: f64,
+    /// Total SSSP computations charged (equals the ledger total).
+    pub sssp_computed: u64,
+    /// Row requests served from cache (free).
+    pub cache_hits: u64,
+    /// Row requests that required a fresh computation.
+    pub cache_misses: u64,
+    /// Worker threads the oracle was configured with.
+    pub threads: usize,
+}
 
 /// Output of a budgeted run.
 #[derive(Clone, Debug)]
@@ -27,6 +56,8 @@ pub struct BudgetedResult {
     pub candidates: Vec<NodeId>,
     /// The SSSP spend, split by phase (compare with the paper's Table 1).
     pub budget: BudgetLedger,
+    /// Instrumentation of this run (wall clock, cache traffic, threads).
+    pub stats: PipelineStats,
 }
 
 impl BudgetedResult {
@@ -58,68 +89,72 @@ pub fn run_pipeline(
     selector: &mut dyn CandidateSelector,
     spec: &TopKSpec,
 ) -> BudgetedResult {
+    let t_select = Instant::now();
     let ranked = selector.rank(oracle);
+    let selector_secs = t_select.elapsed().as_secs_f64();
     oracle.set_phase(Phase::TopK);
 
-    for u in ranked {
-        if oracle.g1().degree(u) == 0 {
-            // Not a node of V_t1: it cannot be the endpoint of a pair
-            // connected in G_t1, so rows from it would be pure waste.
-            continue;
-        }
-        let cost = oracle.cost_of(u);
-        if cost == 0 {
-            continue; // already fully cached (e.g. a landmark)
-        }
-        if oracle.remaining() < cost {
-            // A later, partially cached candidate might still fit, so keep
-            // scanning instead of stopping outright; `cost_of` checks are
-            // free.
-            continue;
-        }
-        // Both rows fit; errors cannot occur after the check above.
-        oracle
-            .rows(u)
-            .expect("budget checked before computing rows");
-    }
+    // Nodes outside V_t1 cannot be the endpoint of a pair connected in
+    // G_t1, so rows from them would be pure waste. The surviving ranking
+    // goes through one batched prefetch: admission stays sequential (same
+    // ledger and candidate set as paying one node at a time — a later,
+    // partially cached candidate can still fit after an unaffordable one
+    // is skipped), only the row computation fans out.
+    let t_prefetch = Instant::now();
+    let wanted: Vec<NodeId> = ranked
+        .into_iter()
+        .filter(|&u| oracle.g1().degree(u) > 0)
+        .collect();
+    oracle.prefetch_node_rows(&wanted);
+    let prefetch_secs = t_prefetch.elapsed().as_secs_f64();
 
     let candidates = oracle.fully_cached_nodes();
+    let t_scan = Instant::now();
     let pairs = pairs_from_candidates(oracle, &candidates, spec);
+    let scan_secs = t_scan.elapsed().as_secs_f64();
+
+    let (cache_hits, cache_misses) = oracle.cache_stats();
     BudgetedResult {
         pairs,
         candidates,
         budget: oracle.ledger(),
+        stats: PipelineStats {
+            selector_secs,
+            prefetch_secs,
+            scan_secs,
+            sssp_computed: oracle.ledger().total(),
+            cache_hits,
+            cache_misses,
+            threads: oracle.threads(),
+        },
     }
 }
 
 /// Computes the Δ values of all pairs `M × V` from cached candidate rows
 /// and cuts them per `spec`.
+///
+/// The per-candidate scans are independent, so they fan out over the
+/// oracle's worker threads; each candidate fills a private buffer and the
+/// buffers are merged **in candidate order**, which keeps the first-seen
+/// pair deduplication — and therefore the output — bit-identical to a
+/// sequential scan at any thread count.
 fn pairs_from_candidates(
-    oracle: &mut SnapshotOracle<'_>,
+    oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
     spec: &TopKSpec,
 ) -> Vec<ConvergingPair> {
-    // First resolve the Δ floor. For ThresholdFromMax the max is taken over
-    // the pairs *visible to this run* (the exact Δmax is unknown within the
+    let per_candidate = scan_candidate_rows(oracle, candidates);
+
+    // Resolve the Δ floor. For ThresholdFromMax the max is taken over the
+    // pairs *visible to this run* (the exact Δmax is unknown within the
     // budget; evaluation harnesses pass an explicit Threshold from the
     // exact baseline instead).
     let mut all: Vec<ConvergingPair> = Vec::new();
     let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
     let mut observed_max = 0u32;
-    for &u in candidates {
-        let (d1, d2) = oracle.rows(u).expect("candidate rows are cached");
-        for v_idx in 0..d1.len() {
-            if v_idx == u.index() {
-                continue;
-            }
-            let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
-                continue;
-            };
-            if delta == 0 {
-                continue;
-            }
-            observed_max = observed_max.max(delta);
-            let p = ConvergingPair::new(u, NodeId::new(v_idx), delta);
+    for bucket in per_candidate {
+        for p in bucket {
+            observed_max = observed_max.max(p.delta);
             if seen.insert(p.pair) {
                 all.push(p);
             }
@@ -136,6 +171,53 @@ fn pairs_from_candidates(
         all.truncate(*k);
     }
     all
+}
+
+/// The Δ > 0 pairs contributed by each candidate's row pair, one bucket
+/// per candidate (not yet deduplicated across candidates).
+fn scan_candidate_rows(
+    oracle: &SnapshotOracle<'_>,
+    candidates: &[NodeId],
+) -> Vec<Vec<ConvergingPair>> {
+    let scan_one = |u: NodeId| -> Vec<ConvergingPair> {
+        let (d1, d2) = oracle.cached_rows(u).expect("candidate rows are cached");
+        let mut found = Vec::new();
+        for v_idx in 0..d1.len() {
+            if v_idx == u.index() {
+                continue;
+            }
+            let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
+                continue;
+            };
+            if delta == 0 {
+                continue;
+            }
+            found.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
+        }
+        found
+    };
+
+    let threads = oracle.threads().min(candidates.len()).max(1);
+    if threads == 1 || candidates.len() < PARALLEL_SCAN_CUTOFF {
+        return candidates.iter().map(|&u| scan_one(u)).collect();
+    }
+    let slots: Vec<parking_lot::Mutex<Vec<ConvergingPair>>> = (0..candidates.len())
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
+    let cursor = AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= candidates.len() {
+                    break;
+                }
+                *slots[i].lock() = scan_one(candidates[i]);
+            });
+        }
+    })
+    .expect("scan worker panicked");
+    slots.into_iter().map(|m| m.into_inner()).collect()
 }
 
 #[cfg(test)]
@@ -162,15 +244,14 @@ mod tests {
         let exact = exact_top_k(&g1, &g2, &TopKSpec::ThresholdFromMax { slack: 1 }, 2);
         // Budget m = n: every node can be a candidate -> full recovery,
         // regardless of selector.
-        for kind in [SelectorKind::Degree, SelectorKind::MaxAvg, SelectorKind::Random] {
+        for kind in [
+            SelectorKind::Degree,
+            SelectorKind::MaxAvg,
+            SelectorKind::Random,
+        ] {
             let mut sel = kind.build(1);
             let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 8, &exact.spec());
-            assert_eq!(
-                res.pair_set(),
-                exact.pair_set(),
-                "selector {}",
-                sel.name()
-            );
+            assert_eq!(res.pair_set(), exact.pair_set(), "selector {}", sel.name());
         }
     }
 
@@ -207,7 +288,13 @@ mod tests {
         let truth: std::collections::HashMap<_, _> =
             exact.pairs.iter().map(|p| (p.pair, p.delta)).collect();
         let mut sel = SelectorKind::MaxAvg.build(0);
-        let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 4, &TopKSpec::Threshold { delta_min: 1 });
+        let res = budgeted_top_k(
+            &g1,
+            &g2,
+            sel.as_mut(),
+            4,
+            &TopKSpec::Threshold { delta_min: 1 },
+        );
         assert!(!res.pairs.is_empty());
         for p in &res.pairs {
             assert_eq!(truth.get(&p.pair), Some(&p.delta), "pair {:?}", p.pair);
@@ -228,11 +315,15 @@ mod tests {
     fn pairs_sorted_canonically() {
         let (g1, g2) = graphs();
         let mut sel = SelectorKind::MaxAvg.build(0);
-        let res = budgeted_top_k(&g1, &g2, sel.as_mut(), 8, &TopKSpec::Threshold { delta_min: 1 });
+        let res = budgeted_top_k(
+            &g1,
+            &g2,
+            sel.as_mut(),
+            8,
+            &TopKSpec::Threshold { delta_min: 1 },
+        );
         for w in res.pairs.windows(2) {
-            assert!(
-                w[0].delta > w[1].delta || (w[0].delta == w[1].delta && w[0].pair < w[1].pair)
-            );
+            assert!(w[0].delta > w[1].delta || (w[0].delta == w[1].delta && w[0].pair < w[1].pair));
         }
     }
 }

@@ -1,0 +1,128 @@
+//! Determinism of the parallel pipeline: the thread count configured on
+//! the oracle must never change *what* is computed — pairs, candidate
+//! set, and budget ledger are bit-identical at any worker count, because
+//! budget admission is sequential and only the SSSP fan-out and the Δ
+//! scan are parallel.
+
+use cp_core::exact::TopKSpec;
+use cp_core::oracle::SnapshotOracle;
+use cp_core::selectors::SelectorKind;
+use cp_core::topk::{run_pipeline, BudgetedResult};
+use cp_graph::builder::graph_from_edges;
+use cp_graph::Graph;
+use proptest::prelude::*;
+
+/// A generated case: node count, base edges, extra edges.
+type SnapshotPairCase = (usize, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+/// Strategy: a growing snapshot pair — a base edge list plus extra edges.
+/// Larger than the cases in `properties.rs` so the parallel cutoffs
+/// (`PARALLEL_ROW_CUTOFF`, `PARALLEL_SCAN_CUTOFF`) are actually crossed.
+fn snapshot_pair(n: u32) -> impl Strategy<Value = SnapshotPairCase> {
+    (8..=n).prop_flat_map(move |nodes| {
+        let base = prop::collection::vec((0..nodes, 0..nodes), 1..120);
+        let extra = prop::collection::vec((0..nodes, 0..nodes), 0..40);
+        (Just(nodes as usize), base, extra)
+    })
+}
+
+fn build_graphs(case: &SnapshotPairCase) -> (Graph, Graph) {
+    let (n, base, extra) = case;
+    let g1 = graph_from_edges(*n, base);
+    let all: Vec<(u32, u32)> = base.iter().chain(extra.iter()).copied().collect();
+    let g2 = graph_from_edges(*n, &all);
+    (g1, g2)
+}
+
+fn run_with_threads(
+    g1: &Graph,
+    g2: &Graph,
+    kind: SelectorKind,
+    m: u64,
+    spec: &TopKSpec,
+    seed: u64,
+    threads: usize,
+) -> BudgetedResult {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m).with_threads(threads);
+    let mut sel = kind.build(seed);
+    run_pipeline(&mut oracle, sel.as_mut(), spec)
+}
+
+const SELECTORS: [SelectorKind; 5] = [
+    SelectorKind::Degree,
+    SelectorKind::MaxAvg,
+    SelectorKind::SumDiff { landmarks: 3 },
+    SelectorKind::Mmsd { landmarks: 3 },
+    SelectorKind::Random,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn pipeline_is_thread_invariant(
+        case in snapshot_pair(40),
+        m in 1u64..24,
+        seed in 0u64..8,
+    ) {
+        let (g1, g2) = build_graphs(&case);
+        let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+        for kind in SELECTORS {
+            let baseline = run_with_threads(&g1, &g2, kind, m, &spec, seed, 1);
+            prop_assert!(
+                baseline.budget.total() <= 2 * m,
+                "{} overspent: {} > {}", kind.name(), baseline.budget.total(), 2 * m
+            );
+            for threads in [2usize, 8] {
+                let parallel = run_with_threads(&g1, &g2, kind, m, &spec, seed, threads);
+                prop_assert_eq!(
+                    &parallel.pairs, &baseline.pairs,
+                    "{} pairs diverge at {} threads", kind.name(), threads
+                );
+                prop_assert_eq!(
+                    &parallel.candidates, &baseline.candidates,
+                    "{} candidates diverge at {} threads", kind.name(), threads
+                );
+                prop_assert_eq!(
+                    parallel.budget, baseline.budget,
+                    "{} ledger diverges at {} threads", kind.name(), threads
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_spec_is_thread_invariant(
+        case in snapshot_pair(32),
+        m in 1u64..16,
+        k in 1usize..20,
+    ) {
+        let (g1, g2) = build_graphs(&case);
+        let spec = TopKSpec::TopK(k);
+        let baseline = run_with_threads(&g1, &g2, SelectorKind::MaxMin, m, &spec, 0, 1);
+        for threads in [2usize, 8] {
+            let parallel = run_with_threads(&g1, &g2, SelectorKind::MaxMin, m, &spec, 0, threads);
+            prop_assert_eq!(&parallel.pairs, &baseline.pairs);
+            prop_assert_eq!(&parallel.candidates, &baseline.candidates);
+            prop_assert_eq!(parallel.budget, baseline.budget);
+        }
+    }
+
+    #[test]
+    fn unbounded_oracle_is_thread_invariant(case in snapshot_pair(24)) {
+        let (g1, g2) = build_graphs(&case);
+        let spec = TopKSpec::Threshold { delta_min: 1 };
+        let run = |threads: usize| {
+            let mut oracle = SnapshotOracle::unbounded(&g1, &g2).with_threads(threads);
+            let mut sel = SelectorKind::Degree.build(0);
+            run_pipeline(&mut oracle, sel.as_mut(), &spec)
+        };
+        let baseline = run(1);
+        for threads in [2usize, 8] {
+            let parallel = run(threads);
+            prop_assert_eq!(&parallel.pairs, &baseline.pairs);
+            prop_assert_eq!(&parallel.candidates, &baseline.candidates);
+            prop_assert_eq!(parallel.budget, baseline.budget);
+        }
+    }
+}

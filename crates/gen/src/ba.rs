@@ -80,7 +80,11 @@ mod tests {
         let g = t.snapshot_at_fraction(1.0);
         // Preferential attachment should create hubs far above the mean
         // degree (mean ~ 4).
-        assert!(g.max_degree() > 20, "max degree {} too small", g.max_degree());
+        assert!(
+            g.max_degree() > 20,
+            "max degree {} too small",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -12,7 +12,10 @@ use std::collections::HashSet;
 /// Generates a forest-fire graph of `n` nodes with forward burning
 /// probability `p` (0 ≤ p < 1). The edge stream is ordered by node arrival.
 pub fn forest_fire<R: Rng>(n: usize, p: f64, rng: &mut R) -> TemporalGraph {
-    assert!((0.0..1.0).contains(&p), "burn probability must be in [0, 1)");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "burn probability must be in [0, 1)"
+    );
     assert!(n >= 1);
     let mut adjacency: Vec<Vec<u32>> = vec![Vec::new(); n];
     let mut edges: Vec<(NodeId, NodeId)> = Vec::new();

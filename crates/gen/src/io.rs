@@ -115,7 +115,11 @@ mod tests {
     fn roundtrip() {
         let t = TemporalGraph::from_sequence(
             4,
-            vec![(NodeId(0), NodeId(1)), (NodeId(2), NodeId(3)), (NodeId(1), NodeId(2))],
+            vec![
+                (NodeId(0), NodeId(1)),
+                (NodeId(2), NodeId(3)),
+                (NodeId(1), NodeId(2)),
+            ],
         );
         let mut buf = Vec::new();
         write_temporal(&t, &mut buf).unwrap();

@@ -198,7 +198,11 @@ mod tests {
     fn heavy_tail_preserved() {
         let g = locality_pa(params(), &mut seeded_rng(4)).snapshot_at_fraction(1.0);
         let mean = 2.0 * g.num_edges() as f64 / g.num_active_nodes() as f64;
-        assert!(g.max_degree() as f64 > 4.0 * mean, "max {} mean {mean}", g.max_degree());
+        assert!(
+            g.max_degree() as f64 > 4.0 * mean,
+            "max {} mean {mean}",
+            g.max_degree()
+        );
     }
 
     #[test]

@@ -38,7 +38,12 @@ pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> Tem
                     }
                 }
             }
-            let key = if a < b { (a, b) } else { std::mem::swap(&mut a, &mut b); (a, b) };
+            let key = if a < b {
+                (a, b)
+            } else {
+                std::mem::swap(&mut a, &mut b);
+                (a, b)
+            };
             if seen.insert(key) {
                 edges.push((NodeId(key.0), NodeId(key.1)));
             }
@@ -66,8 +71,7 @@ mod tests {
     #[test]
     fn rewiring_shrinks_diameter() {
         let lattice = watts_strogatz(400, 4, 0.0, &mut seeded_rng(2)).snapshot_at_fraction(1.0);
-        let small_world =
-            watts_strogatz(400, 4, 0.3, &mut seeded_rng(2)).snapshot_at_fraction(1.0);
+        let small_world = watts_strogatz(400, 4, 0.3, &mut seeded_rng(2)).snapshot_at_fraction(1.0);
         assert!(
             diameter_estimate(&small_world) < diameter_estimate(&lattice),
             "shortcuts should shrink the diameter"

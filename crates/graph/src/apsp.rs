@@ -16,12 +16,23 @@ use crate::dijkstra::dijkstra_into;
 use crate::graph::{Graph, NodeId};
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-/// Default number of worker threads: the available parallelism, capped so
-/// tiny graphs don't pay thread spawn overhead per call.
+/// Cap on [`default_threads`]: BFS row streaming is memory-bound, so
+/// returns diminish well before high core counts, and an unbounded default
+/// oversubscribes shared machines.
+pub const MAX_DEFAULT_THREADS: usize = 16;
+
+/// Source count below which [`for_each_source`] (and the pairwise variant)
+/// runs on the calling thread without spawning workers.
+const INLINE_SOURCE_CUTOFF: usize = 32;
+
+/// Default number of worker threads: the available parallelism, capped at
+/// [`MAX_DEFAULT_THREADS`] so tiny graphs and shared machines don't pay
+/// spawn and contention overhead per call.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
+        .min(MAX_DEFAULT_THREADS)
 }
 
 /// Runs `sink(src, distance_row)` for every source node, in parallel.
@@ -39,25 +50,32 @@ where
     }
     let threads = threads.max(1).min(n);
     let cursor = AtomicUsize::new(0);
+    let worker = || {
+        let mut dist = Vec::new();
+        let mut ws = BfsWorkspace::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let src = NodeId::new(i);
+            if graph.is_weighted() {
+                dijkstra_into(graph, src, &mut dist);
+            } else {
+                bfs_into(graph, src, &mut dist, &mut ws);
+            }
+            sink(src, &dist);
+        }
+    };
+    // Small inputs (or an explicit single thread) run on the calling
+    // thread: no spawn, no scope, same rows in the same order.
+    if threads == 1 || n < INLINE_SOURCE_CUTOFF {
+        worker();
+        return;
+    }
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut dist = Vec::new();
-                let mut ws = BfsWorkspace::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let src = NodeId::new(i);
-                    if graph.is_weighted() {
-                        dijkstra_into(graph, src, &mut dist);
-                    } else {
-                        bfs_into(graph, src, &mut dist, &mut ws);
-                    }
-                    sink(src, &dist);
-                }
-            });
+            scope.spawn(|_| worker());
         }
     })
     .expect("APSP worker panicked");
@@ -83,31 +101,36 @@ where
     }
     let threads = threads.max(1).min(n);
     let cursor = AtomicUsize::new(0);
+    let worker = || {
+        let mut d1 = Vec::new();
+        let mut d2 = Vec::new();
+        let mut ws = BfsWorkspace::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            let src = NodeId::new(i);
+            if g1.is_weighted() {
+                dijkstra_into(g1, src, &mut d1);
+            } else {
+                bfs_into(g1, src, &mut d1, &mut ws);
+            }
+            if g2.is_weighted() {
+                dijkstra_into(g2, src, &mut d2);
+            } else {
+                bfs_into(g2, src, &mut d2, &mut ws);
+            }
+            sink(src, &d1, &d2);
+        }
+    };
+    if threads == 1 || n < INLINE_SOURCE_CUTOFF {
+        worker();
+        return;
+    }
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut d1 = Vec::new();
-                let mut d2 = Vec::new();
-                let mut ws = BfsWorkspace::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let src = NodeId::new(i);
-                    if g1.is_weighted() {
-                        dijkstra_into(g1, src, &mut d1);
-                    } else {
-                        bfs_into(g1, src, &mut d1, &mut ws);
-                    }
-                    if g2.is_weighted() {
-                        dijkstra_into(g2, src, &mut d2);
-                    } else {
-                        bfs_into(g2, src, &mut d2, &mut ws);
-                    }
-                    sink(src, &d1, &d2);
-                }
-            });
+            scope.spawn(|_| worker());
         }
     })
     .expect("APSP worker panicked");
@@ -117,8 +140,9 @@ where
 /// small graphs; tests use it to cross-check the streaming variants.
 pub fn full_matrix(graph: &Graph, threads: usize) -> Vec<Vec<u32>> {
     let n = graph.num_nodes();
-    let rows: Vec<parking_lot::Mutex<Vec<u32>>> =
-        (0..n).map(|_| parking_lot::Mutex::new(Vec::new())).collect();
+    let rows: Vec<parking_lot::Mutex<Vec<u32>>> = (0..n)
+        .map(|_| parking_lot::Mutex::new(Vec::new()))
+        .collect();
     for_each_source(graph, threads, |src, dist| {
         *rows[src.index()].lock() = dist.to_vec();
     });
@@ -133,10 +157,7 @@ mod tests {
     use parking_lot::Mutex;
 
     fn sample() -> Graph {
-        graph_from_edges(
-            8,
-            &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (6, 7)],
-        )
+        graph_from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (6, 7)])
     }
 
     #[test]

@@ -238,10 +238,7 @@ mod tests {
 
     #[test]
     fn full_sample_equals_exact() {
-        let g = graph_from_edges(
-            7,
-            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5), (5, 6)],
-        );
+        let g = graph_from_edges(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (2, 5), (5, 6)]);
         let exact = betweenness_exact(&g, 2);
         let pivots: Vec<NodeId> = g.nodes().collect();
         let sampled = betweenness_sampled(&g, &pivots, 2);

@@ -79,9 +79,9 @@ impl GraphBuilder {
     pub fn build(mut self) -> Graph {
         // Sort + dedup normalized endpoint pairs; stable sort keeps the first
         // occurrence's weight after dedup_by.
+        self.edges.sort_by_key(|x| (x.0, x.1));
         self.edges
-            .sort_by_key(|x| (x.0, x.1));
-        self.edges.dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
+            .dedup_by(|next, first| (next.0, next.1) == (first.0, first.1));
 
         let n = self.num_nodes;
         let m = self.edges.len();

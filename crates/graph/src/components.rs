@@ -60,7 +60,10 @@ impl Components {
                 active_per_comp[self.labels[u.index()] as usize] += 1;
             }
         }
-        let connected: u64 = active_per_comp.iter().map(|&s| s * s.saturating_sub(1) / 2).sum();
+        let connected: u64 = active_per_comp
+            .iter()
+            .map(|&s| s * s.saturating_sub(1) / 2)
+            .sum();
         all_pairs - connected
     }
 
@@ -123,8 +126,8 @@ mod tests {
         assert!(c.connected(NodeId(0), NodeId(2)));
         assert!(!c.connected(NodeId(0), NodeId(3)));
         assert_eq!(c.connected_pairs(), 3 + 1); // C(3,2) + C(2,2)
-        // Active nodes: 0..=4 (5 nodes, 10 pairs), connected pairs among
-        // active: 3 + 1 = 4, so 6 not connected.
+                                                // Active nodes: 0..=4 (5 nodes, 10 pairs), connected pairs among
+                                                // active: 3 + 1 = 4, so 6 not connected.
         assert_eq!(c.not_connected_active_pairs(&g), 6);
     }
 

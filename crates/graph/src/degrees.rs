@@ -91,9 +91,6 @@ mod tests {
         // m larger than n clips.
         assert_eq!(top_m_by_score_u32(&scores, 10).len(), 4);
         let f = [0.5f64, 2.5, 2.5, -1.0];
-        assert_eq!(
-            top_m_by_score_f64(&f, 2),
-            vec![NodeId(1), NodeId(2)]
-        );
+        assert_eq!(top_m_by_score_f64(&f, 2), vec![NodeId(1), NodeId(2)]);
     }
 }

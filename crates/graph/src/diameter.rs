@@ -90,7 +90,17 @@ mod tests {
     fn double_sweep_never_exceeds_exact() {
         let g = graph_from_edges(
             9,
-            &[(0, 1), (0, 2), (1, 3), (2, 4), (3, 5), (4, 5), (5, 6), (6, 7), (7, 8)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 4),
+                (3, 5),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+            ],
         );
         let exact = diameter_exact(&g, 2);
         for s in 0..9 {

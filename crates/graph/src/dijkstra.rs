@@ -47,8 +47,8 @@ pub fn dijkstra_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::builder::{graph_from_edges, GraphBuilder};
     use crate::bfs::bfs;
+    use crate::builder::{graph_from_edges, GraphBuilder};
 
     #[test]
     fn weighted_path() {
@@ -76,7 +76,16 @@ mod tests {
         // A small fixed graph where all weights are 1: Dijkstra == BFS.
         let g = graph_from_edges(
             7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5), (5, 6)],
+            &[
+                (0, 1),
+                (0, 2),
+                (1, 3),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (1, 5),
+                (5, 6),
+            ],
         );
         for s in 0..7 {
             assert_eq!(dijkstra(&g, NodeId(s)), bfs(&g, NodeId(s)), "src {s}");

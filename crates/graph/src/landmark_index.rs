@@ -231,12 +231,10 @@ mod tests {
         for u in 0..6u32 {
             for v in 0..6u32 {
                 assert!(
-                    many.upper_bound(NodeId(u), NodeId(v))
-                        <= few.upper_bound(NodeId(u), NodeId(v))
+                    many.upper_bound(NodeId(u), NodeId(v)) <= few.upper_bound(NodeId(u), NodeId(v))
                 );
                 assert!(
-                    many.lower_bound(NodeId(u), NodeId(v))
-                        >= few.lower_bound(NodeId(u), NodeId(v))
+                    many.lower_bound(NodeId(u), NodeId(v)) >= few.lower_bound(NodeId(u), NodeId(v))
                 );
             }
         }

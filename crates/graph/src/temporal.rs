@@ -63,7 +63,10 @@ impl TemporalGraph {
     }
 
     /// Creates a temporal graph where event order *is* the timestamp.
-    pub fn from_sequence(num_nodes: usize, edges: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+    pub fn from_sequence(
+        num_nodes: usize,
+        edges: impl IntoIterator<Item = (NodeId, NodeId)>,
+    ) -> Self {
         let events = edges
             .into_iter()
             .enumerate()
@@ -181,9 +184,21 @@ mod tests {
     #[test]
     fn time_snapshots() {
         let events = vec![
-            TimedEdge { u: NodeId(0), v: NodeId(1), time: 10 },
-            TimedEdge { u: NodeId(1), v: NodeId(2), time: 20 },
-            TimedEdge { u: NodeId(2), v: NodeId(0), time: 30 },
+            TimedEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+                time: 10,
+            },
+            TimedEdge {
+                u: NodeId(1),
+                v: NodeId(2),
+                time: 20,
+            },
+            TimedEdge {
+                u: NodeId(2),
+                v: NodeId(0),
+                time: 30,
+            },
         ];
         let t = TemporalGraph::new(3, events);
         assert_eq!(t.snapshot_at(9).num_edges(), 0);
@@ -195,8 +210,16 @@ mod tests {
     #[test]
     fn events_sorted_on_construction() {
         let events = vec![
-            TimedEdge { u: NodeId(1), v: NodeId(2), time: 5 },
-            TimedEdge { u: NodeId(0), v: NodeId(1), time: 1 },
+            TimedEdge {
+                u: NodeId(1),
+                v: NodeId(2),
+                time: 5,
+            },
+            TimedEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+                time: 1,
+            },
         ];
         let t = TemporalGraph::new(3, events);
         assert_eq!(t.events()[0].time, 1);

@@ -26,7 +26,10 @@ fn weighted_graph_roundtrips() {
     let g = b.build();
     let back: Graph = serde_json::from_str(&serde_json::to_string(&g).unwrap()).unwrap();
     assert!(back.is_weighted());
-    assert_eq!(back.edge_weight(back.edge_id(NodeId(0), NodeId(1)).unwrap()), 7);
+    assert_eq!(
+        back.edge_weight(back.edge_id(NodeId(0), NodeId(1)).unwrap()),
+        7
+    );
 }
 
 #[test]
@@ -34,12 +37,19 @@ fn temporal_graph_roundtrips() {
     let t = TemporalGraph::new(
         4,
         vec![
-            TimedEdge { u: NodeId(0), v: NodeId(1), time: 10 },
-            TimedEdge { u: NodeId(2), v: NodeId(3), time: 20 },
+            TimedEdge {
+                u: NodeId(0),
+                v: NodeId(1),
+                time: 10,
+            },
+            TimedEdge {
+                u: NodeId(2),
+                v: NodeId(3),
+                time: 20,
+            },
         ],
     );
-    let back: TemporalGraph =
-        serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
+    let back: TemporalGraph = serde_json::from_str(&serde_json::to_string(&t).unwrap()).unwrap();
     assert_eq!(back.events(), t.events());
     assert_eq!(back.num_nodes(), 4);
     // Behavioural equality: same snapshots.

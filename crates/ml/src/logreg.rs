@@ -134,16 +134,11 @@ impl LogisticRegression {
                 break;
             }
             // Backtracking line search along the negative gradient.
-            let gnorm2: f64 =
-                grad_w.iter().map(|g| g * g).sum::<f64>() + grad_b * grad_b;
+            let gnorm2: f64 = grad_w.iter().map(|g| g * g).sum::<f64>() + grad_b * grad_b;
             let mut accepted = false;
             let mut trial_grad = vec![0.0f64; k];
             for _ in 0..40 {
-                let cand_w: Vec<f64> = w
-                    .iter()
-                    .zip(&grad_w)
-                    .map(|(wi, g)| wi - step * g)
-                    .collect();
+                let cand_w: Vec<f64> = w.iter().zip(&grad_w).map(|(wi, g)| wi - step * g).collect();
                 let cand_b = b - step * grad_b;
                 let (cand_loss, cand_grad_b) = loss_and_grad(&cand_w, cand_b, &mut trial_grad);
                 // Armijo condition.
@@ -163,7 +158,10 @@ impl LogisticRegression {
                 break; // step underflowed; gradient is numerically flat
             }
         }
-        LogisticRegression { weights: w, bias: b }
+        LogisticRegression {
+            weights: w,
+            bias: b,
+        }
     }
 
     /// Predicted probability of the positive class for one feature row.
@@ -273,8 +271,7 @@ mod tests {
         d.push(&[1.0], true);
         d.push(&[0.9], true);
         let plain = LogisticRegression::train(&d, &TrainConfig::default());
-        let balanced =
-            LogisticRegression::train(&d, &TrainConfig::default().balanced(&d));
+        let balanced = LogisticRegression::train(&d, &TrainConfig::default().balanced(&d));
         assert!(balanced.predict_proba(&[1.0]) > plain.predict_proba(&[1.0]));
     }
 

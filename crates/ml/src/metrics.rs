@@ -10,11 +10,7 @@ pub fn accuracy(predicted: &[bool], actual: &[bool]) -> f64 {
     if actual.is_empty() {
         return 0.0;
     }
-    let hits = predicted
-        .iter()
-        .zip(actual)
-        .filter(|(p, a)| p == a)
-        .count();
+    let hits = predicted.iter().zip(actual).filter(|(p, a)| p == a).count();
     hits as f64 / actual.len() as f64
 }
 

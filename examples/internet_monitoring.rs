@@ -32,7 +32,10 @@ fn main() {
         exact.delta_min
     );
 
-    println!("\n{:>9} {:>8} {:>12} {:>10}", "budget m", "% of n", "coverage %", "SSSPs");
+    println!(
+        "\n{:>9} {:>8} {:>12} {:>10}",
+        "budget m", "% of n", "coverage %", "SSSPs"
+    );
     for pct_of_n in [0.25f64, 0.5, 1.0, 2.0] {
         let m = ((n as f64) * pct_of_n / 100.0).round().max(4.0) as u64;
         let mut selector = SelectorKind::Mmsd {

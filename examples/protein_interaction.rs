@@ -88,8 +88,7 @@ fn main() {
         LandmarkIndex::build(&g1, &landmarks),
         LandmarkIndex::build(&g2, &landmarks),
     );
-    let hypotheses: Vec<(NodeId, NodeId)> =
-        result.pairs.iter().map(|p| p.pair).collect();
+    let hypotheses: Vec<(NodeId, NodeId)> = result.pairs.iter().map(|p| p.pair).collect();
     let triage = bounds.triage(&hypotheses, 3);
     println!(
         "landmark triage of {} hypotheses: {} certified, {} ruled out, {} need a real probe",

@@ -12,7 +12,8 @@ fn main() {
     // opposite nodes), then chords arrive over time and pull regions of
     // the ring together.
     let n = 40u32;
-    let mut edges: Vec<(NodeId, NodeId)> = (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect();
+    let mut edges: Vec<(NodeId, NodeId)> =
+        (0..n).map(|i| (NodeId(i), NodeId((i + 1) % n))).collect();
     for &(a, b) in &[(0, 20), (5, 25), (10, 30), (3, 33), (15, 35), (8, 28)] {
         edges.push((NodeId(a), NodeId(b)));
     }

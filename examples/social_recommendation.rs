@@ -43,13 +43,7 @@ fn main() {
         landmarks: DEFAULT_LANDMARKS,
     }
     .build(7);
-    let result = budgeted_top_k(
-        &g1,
-        &g2,
-        selector.as_mut(),
-        m,
-        &TopKSpec::TopK(200),
-    );
+    let result = budgeted_top_k(&g1, &g2, selector.as_mut(), m, &TopKSpec::TopK(200));
     println!(
         "budgeted run: m = {m} candidates, {} SSSPs spent, {} converging pairs found",
         result.budget.total(),
@@ -69,11 +63,13 @@ fn main() {
     recommendations.sort_by_key(|p| std::cmp::Reverse(p.delta));
 
     println!("\ntop friend recommendations (distance collapsed, no edge yet):");
-    println!("{:>6} {:>6}  {:>5}  same circle?", "user A", "user B", "delta");
+    println!(
+        "{:>6} {:>6}  {:>5}  same circle?",
+        "user A", "user B", "delta"
+    );
     for p in recommendations {
         let (a, b) = p.pair;
-        let same = circles.connected(a, b)
-            && circles.label(a) == circles.label(b);
+        let same = circles.connected(a, b) && circles.label(a) == circles.label(b);
         println!(
             "{:>6} {:>6}  {:>5}  {}",
             a,

@@ -59,7 +59,11 @@ fn main() {
     for (pair, history) in persistent.iter().take(5) {
         println!(
             "  ({}, {}): total decrease {} over {} reviews (last at review {})",
-            pair.pair.0, pair.pair.1, history.total_delta, history.times_seen, history.last_seen_step
+            pair.pair.0,
+            pair.pair.1,
+            history.total_delta,
+            history.times_seen,
+            history.last_seen_step
         );
     }
 }

@@ -75,15 +75,23 @@ fn parse_args() -> Result<Args, String> {
             "--m" => args.m = take("--m")?.parse().map_err(|e| format!("--m: {e}"))?,
             "--k" => args.k = take("--k")?.parse().map_err(|e| format!("--k: {e}"))?,
             "--delta-min" => {
-                args.delta_min =
-                    Some(take("--delta-min")?.parse().map_err(|e| format!("--delta-min: {e}"))?)
+                args.delta_min = Some(
+                    take("--delta-min")?
+                        .parse()
+                        .map_err(|e| format!("--delta-min: {e}"))?,
+                )
             }
             "--selector" => args.selector = take("--selector")?.to_lowercase(),
             "--landmarks" => {
-                args.landmarks =
-                    take("--landmarks")?.parse().map_err(|e| format!("--landmarks: {e}"))?
+                args.landmarks = take("--landmarks")?
+                    .parse()
+                    .map_err(|e| format!("--landmarks: {e}"))?
             }
-            "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
             "--exact" => args.exact = true,
             "--evaluate" => args.evaluate = true,
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
@@ -128,7 +136,11 @@ fn main() -> ExitCode {
                 eprintln!("error: {msg}\n");
             }
             eprintln!("{USAGE}");
-            return if msg.is_empty() { ExitCode::SUCCESS } else { ExitCode::from(2) };
+            return if msg.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(2)
+            };
         }
     };
 

@@ -72,13 +72,8 @@ fn single_edge_universe() {
     let g2 = g1.clone();
     let mut snaps = Snapshots::from_eval_pair("tiny", g1, g2, 1);
     assert_eq!(snaps.truth(2).k(), 0);
-    let row = converging_pairs::core::experiment::run_kind(
-        &mut snaps,
-        SelectorKind::Degree,
-        1,
-        2,
-        0,
-    );
+    let row =
+        converging_pairs::core::experiment::run_kind(&mut snaps, SelectorKind::Degree, 1, 2, 0);
     assert_eq!(row.coverage, 1.0); // empty truth counts as fully covered
 }
 

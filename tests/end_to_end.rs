@@ -43,14 +43,8 @@ fn informed_selectors_beat_random_on_average() {
     let mut random_total = 0.0;
     for kind in DatasetKind::ALL {
         let mut snaps = snapshots(kind);
-        hybrid_total += run_kind(
-            &mut snaps,
-            SelectorKind::Mmsd { landmarks: 5 },
-            12,
-            1,
-            7,
-        )
-        .coverage;
+        hybrid_total +=
+            run_kind(&mut snaps, SelectorKind::Mmsd { landmarks: 5 }, 12, 1, 7).coverage;
         random_total += run_kind(&mut snaps, SelectorKind::Random, 12, 1, 7).coverage;
     }
     assert!(
@@ -64,7 +58,11 @@ fn coverage_is_monotone_in_budget_for_deterministic_selectors() {
     // Larger budgets extend the candidate prefix for deterministic
     // selectors, so coverage cannot drop.
     let mut snaps = snapshots(DatasetKind::Dblp);
-    for kind in [SelectorKind::Degree, SelectorKind::DegRel, SelectorKind::MaxAvg] {
+    for kind in [
+        SelectorKind::Degree,
+        SelectorKind::DegRel,
+        SelectorKind::MaxAvg,
+    ] {
         let mut last = -1.0;
         for m in [4u64, 8, 16, 32, 64] {
             let cov = run_kind(&mut snaps, kind, m, 1, 7).coverage;

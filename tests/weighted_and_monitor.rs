@@ -3,8 +3,8 @@
 //! unweighted) and for the continuous-monitoring extension.
 
 use converging_pairs::core::monitor::{ConvergenceMonitor, MonitorConfig};
-use converging_pairs::prelude::*;
 use converging_pairs::graph::GraphBuilder;
+use converging_pairs::prelude::*;
 
 /// Builds a weighted path 0-1-...-last with the given per-edge weight,
 /// plus optional extra weighted edges.

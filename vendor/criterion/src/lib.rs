@@ -1,0 +1,247 @@
+//! Vendored minimal `criterion`.
+//!
+//! Keeps the upstream bench-authoring API surface (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Throughput`,
+//! `criterion_group!`/`criterion_main!`) but replaces the statistical
+//! engine with a plain timing loop: warm up once, time `sample_size`
+//! iterations, report mean and best per-iteration wall clock. Good enough
+//! for comparative numbers; not a statistics package.
+//!
+//! When invoked with `--test` (as `cargo test` does for harness-less bench
+//! targets) every benchmark body runs exactly once, as a smoke test.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark inside a group: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and the input parameter shown next
+    /// to it.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Units-of-work annotation; reported as elements (or bytes) per second.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    smoke_test: bool,
+    /// Mean and best per-iteration time of the last `iter` call.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Warms up, then times `sample_size` iterations of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        if self.smoke_test {
+            self.result = Some((Duration::ZERO, Duration::ZERO));
+            return;
+        }
+        let mut total = Duration::ZERO;
+        let mut best = Duration::MAX;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(f());
+            let once = start.elapsed();
+            total += once;
+            best = best.min(once);
+        }
+        self.result = Some((total / self.sample_size as u32, best));
+    }
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a work rate.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut body: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| body(b));
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut body: F,
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| body(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, body: impl FnOnce(&mut Bencher)) {
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            smoke_test: self.criterion.smoke_test,
+            result: None,
+        };
+        body(&mut bencher);
+        let full_id = format!("{}/{}", self.name, id);
+        match bencher.result {
+            Some(_) if self.criterion.smoke_test => {
+                println!("{full_id}: ok (smoke test)");
+            }
+            Some((mean, best)) => {
+                let rate = match self.throughput {
+                    Some(Throughput::Elements(n)) if mean > Duration::ZERO => {
+                        format!("  {:.3e} elem/s", n as f64 / mean.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n)) if mean > Duration::ZERO => {
+                        format!("  {:.3e} B/s", n as f64 / mean.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                println!(
+                    "{full_id}: mean {:?}, best {:?} over {} iters{rate}",
+                    mean, best, self.sample_size
+                );
+            }
+            None => println!("{full_id}: no measurement (body never called iter)"),
+        }
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            smoke_test: false,
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line flags: `--test` switches to run-once smoke mode;
+    /// everything else (criterion's filters, `--bench`) is ignored.
+    pub fn configure_from_args(mut self) -> Self {
+        self.smoke_test = std::env::args().any(|a| a == "--test");
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        let throughput = None;
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut body: F,
+    ) -> &mut Self {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, &mut body);
+        self
+    }
+}
+
+/// Declares a group-runner function calling each benchmark function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given group functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("adds");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(100));
+        group.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("to", 50u32), &50u32, |b, &n| {
+            b.iter(|| (0u32..n).sum::<u32>())
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        sample_bench(&mut c);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+    }
+}

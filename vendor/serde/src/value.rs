@@ -1,0 +1,462 @@
+//! The JSON-shaped value tree plus compact rendering and parsing.
+//!
+//! This is both serde's intermediate representation and serde_json's
+//! `Value` type; the `serde_json` shim re-exports it.
+
+use crate::DeError;
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// A non-negative integer (kept exact up to `u64::MAX`).
+    UInt(u64),
+    /// A negative integer.
+    Int(i64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; insertion order is preserved.
+    Object(Vec<(String, Value)>),
+}
+
+/// A shared `null`, for lookups that miss.
+pub static NULL: Value = Value::Null;
+
+impl Value {
+    /// The object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array items, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Member lookup on objects: `v.get("key")`.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key))
+            .map(|(_, v)| v)
+    }
+}
+
+/// Asserts that `v` is an object, with a type name for the error message.
+pub fn expect_object<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+    v.as_object()
+        .ok_or_else(|| DeError::new(format!("expected object for {ty}, got {v:?}")))
+}
+
+/// Field lookup used by derived `Deserialize` impls. Missing keys resolve
+/// to `null` so `Option` fields deserialize to `None`; any other type will
+/// raise its own "expected ..., got Null" error.
+pub fn get_field<'v>(entries: &'v [(String, Value)], key: &str) -> &'v Value {
+    entries
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .unwrap_or(&NULL)
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn render_float(f: f64, out: &mut String) {
+    if f.is_finite() {
+        let s = format!("{f}");
+        out.push_str(&s);
+        // Keep the number a float on re-parse.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // JSON has no NaN/Inf; mirror serde_json's lossy `null`.
+        out.push_str("null");
+    }
+}
+
+fn render_into(v: &Value, indent: Option<usize>, depth: usize, out: &mut String) {
+    let (nl, pad, pad_close, colon) = match indent {
+        None => (String::new(), String::new(), String::new(), ":".to_string()),
+        Some(w) => (
+            "\n".to_string(),
+            " ".repeat(w * (depth + 1)),
+            " ".repeat(w * depth),
+            ": ".to_string(),
+        ),
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => render_float(*f, out),
+        Value::Str(s) => escape_into(s, out),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&nl);
+                out.push_str(&pad);
+                render_into(item, indent, depth + 1, out);
+            }
+            out.push_str(&nl);
+            out.push_str(&pad_close);
+            out.push(']');
+        }
+        Value::Object(entries) => {
+            if entries.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&nl);
+                out.push_str(&pad);
+                escape_into(k, out);
+                out.push_str(&colon);
+                render_into(item, indent, depth + 1, out);
+            }
+            out.push_str(&nl);
+            out.push_str(&pad_close);
+            out.push('}');
+        }
+    }
+}
+
+impl Value {
+    /// Compact JSON text.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        render_into(self, None, 0, &mut out);
+        out
+    }
+
+    /// Pretty-printed JSON text (two-space indent).
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        render_into(self, Some(2), 0, &mut out);
+        out
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+/// A JSON text parser producing [`Value`] trees.
+pub struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    /// Creates a parser over `s`.
+    pub fn new(s: &'s str) -> Self {
+        Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> DeError {
+        DeError::new(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8, what: &str) -> Result<(), DeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Parses one complete value and asserts end of input.
+    pub fn parse_document(mut self) -> Result<Value, DeError> {
+        let v = self.parse_value()?;
+        self.skip_ws();
+        if self.pos != self.bytes.len() {
+            return Err(self.err("trailing characters"));
+        }
+        Ok(v)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, DeError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, DeError> {
+        self.eat(b'"', "string quote")?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(self.err("unterminated string"));
+            };
+            self.pos += 1;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => {
+                    let Some(esc) = self.peek() else {
+                        return Err(self.err("unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("invalid \\u escape"))?;
+                            self.pos += 4;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                _ => {
+                    // Re-decode the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        _ if b < 0x80 => 1,
+                        _ if b >> 5 == 0b110 => 2,
+                        _ if b >> 4 == 0b1110 => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(start..start + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    let s = std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, DeError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+
+    fn parse_array(&mut self) -> Result<Value, DeError> {
+        self.eat(b'[', "array open")?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, DeError> {
+        self.eat(b'{', "object open")?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.eat(b':', "':' after object key")?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        Parser::new(s).parse_document().unwrap()
+    }
+
+    #[test]
+    fn scalars_parse() {
+        assert_eq!(parse("null"), Value::Null);
+        assert_eq!(parse("true"), Value::Bool(true));
+        assert_eq!(parse("42"), Value::UInt(42));
+        assert_eq!(parse("-3"), Value::Int(-3));
+        assert_eq!(parse("2.5"), Value::Float(2.5));
+        assert_eq!(parse("\"a\\nb\""), Value::Str("a\nb".into()));
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = Value::Object(vec![
+            ("xs".into(), Value::Array(vec![Value::UInt(1), Value::Null])),
+            ("name".into(), Value::Str("q\"uote".into())),
+            ("f".into(), Value::Float(1.0)),
+        ]);
+        let text = v.render_compact();
+        assert_eq!(parse(&text), v);
+        let pretty = v.render_pretty();
+        assert_eq!(parse(&pretty), v);
+    }
+
+    #[test]
+    fn floats_stay_floats() {
+        let text = Value::Float(3.0).render_compact();
+        assert_eq!(text, "3.0");
+        assert_eq!(parse(&text), Value::Float(3.0));
+    }
+
+    #[test]
+    fn unicode_survives() {
+        let v = Value::Str("héllo ✓".into());
+        assert_eq!(parse(&v.render_compact()), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Parser::new("{").parse_document().is_err());
+        assert!(Parser::new("1 2").parse_document().is_err());
+        assert!(Parser::new("[1,]").parse_document().is_err());
+    }
+}

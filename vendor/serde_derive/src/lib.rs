@@ -1,0 +1,431 @@
+//! Vendored minimal `serde_derive`.
+//!
+//! Hand-rolled derives for the vendored serde facade: no `syn`/`quote`
+//! (unavailable offline), just direct `proc_macro` token walking. Supports
+//! exactly what the workspace derives on: non-generic structs (named,
+//! tuple/newtype, unit) and enums (unit, newtype, tuple, and struct
+//! variants). No `#[serde(...)]` attributes.
+//!
+//! Wire shapes mirror upstream serde's JSON conventions:
+//! * named struct        -> object of fields
+//! * newtype struct      -> the inner value (`NodeId(42)` -> `42`)
+//! * tuple struct        -> array
+//! * unit enum variant   -> `"Variant"`
+//! * data enum variant   -> `{"Variant": <data>}`
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Cursor {
+    toks: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            toks: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.toks.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.toks.len()
+    }
+
+    /// Skips `#[...]` attributes (doc comments included).
+    fn skip_attrs(&mut self) {
+        while matches!(self.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(_)) => self.pos += 1,
+                _ => panic!("serde_derive: malformed attribute"),
+            }
+        }
+    }
+
+    /// Skips `pub`, `pub(crate)`, `pub(in ...)`.
+    fn skip_vis(&mut self) {
+        if matches!(self.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+            self.pos += 1;
+            if matches!(
+                self.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde_derive: expected {what}, got {other:?}"),
+        }
+    }
+
+    /// Skips a type (or discriminant expression) up to a top-level `,`,
+    /// tracking `<...>` nesting. The comma itself is consumed.
+    /// Returns false when the end of the stream is reached instead.
+    fn skip_past_comma(&mut self) -> bool {
+        let mut angle_depth = 0i32;
+        while let Some(t) = self.next() {
+            if let TokenTree::Punct(p) = &t {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Vec<String> {
+    let mut cur = Cursor::new(group);
+    let mut fields = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        fields.push(cur.expect_ident("field name"));
+        match cur.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde_derive: expected ':' after field, got {other:?}"),
+        }
+        if !cur.skip_past_comma() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut cur = Cursor::new(group);
+    let mut count = 0;
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_vis();
+        count += 1;
+        if !cur.skip_past_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_variants(group: TokenStream) -> Vec<Variant> {
+    let mut cur = Cursor::new(group);
+    let mut variants = Vec::new();
+    loop {
+        cur.skip_attrs();
+        if cur.at_end() {
+            break;
+        }
+        let name = cur.expect_ident("variant name");
+        let fields = match cur.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                cur.pos += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                cur.pos += 1;
+                Fields::Tuple(count_tuple_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        variants.push(Variant { name, fields });
+        match cur.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                cur.pos += 1;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the separating comma.
+                cur.pos += 1;
+                cur.skip_past_comma();
+            }
+            None => break,
+            other => panic!("serde_derive: unexpected token after variant: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut cur = Cursor::new(input);
+    cur.skip_attrs();
+    cur.skip_vis();
+    let kw = cur.expect_ident("'struct' or 'enum'");
+    let name = cur.expect_ident("type name");
+    if matches!(cur.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported by the vendored derive");
+    }
+    match (kw.as_str(), cur.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::Struct {
+                name,
+                fields: Fields::Named(parse_named_fields(g.stream())),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::Struct {
+                name,
+                fields: Fields::Tuple(count_tuple_fields(g.stream())),
+            }
+        }
+        ("struct", Some(TokenTree::Punct(p))) if p.as_char() == ';' => Item::Struct {
+            name,
+            fields: Fields::Unit,
+        },
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (kw, other) => panic!("serde_derive: unsupported item shape: {kw} ... {other:?}"),
+    }
+}
+
+fn serialize_fields_expr(path: &str, fields: &Fields, access_prefix: &str) -> String {
+    match fields {
+        Fields::Unit => format!("::serde::Value::Str(::std::string::String::from(\"{path}\"))"),
+        Fields::Tuple(1) => format!("::serde::Serialize::to_value(&{access_prefix}0)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&{access_prefix}{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&{access_prefix}{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "::serde::Value::Object(::std::vec![{}])",
+                entries.join(", ")
+            )
+        }
+    }
+}
+
+fn deserialize_fields_expr(ty_path: &str, fields: &Fields, source: &str) -> String {
+    match fields {
+        Fields::Unit => ty_path.to_string(),
+        Fields::Tuple(1) => format!("{ty_path}(::serde::Deserialize::from_value({source})?)"),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "{{ let __items = ({source}).as_array().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected array for {ty_path}\"))?; \
+                 if __items.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::new(\"wrong arity for {ty_path}\")); }} \
+                 {ty_path}({items}) }}",
+                items = items.join(", ")
+            )
+        }
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::value::get_field(__obj, \"{f}\"))?"
+                    )
+                })
+                .collect();
+            format!(
+                "{{ let __obj = ::serde::value::expect_object({source}, \"{ty_path}\")?; \
+                 {ty_path} {{ {inits} }} }}",
+                inits = inits.join(", ")
+            )
+        }
+    }
+}
+
+/// Derives `serde::Serialize` (vendored facade).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = serialize_fields_expr(&name, &fields, "self.");
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ {expr} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.fields {
+                        Fields::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\")),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                            let inner = if *n == 1 {
+                                "::serde::Serialize::to_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 {inner})]),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Value::Object(\
+                                 ::std::vec![(::std::string::String::from(\"{vname}\"), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))]),",
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+                 }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}
+
+/// Derives `serde::Deserialize` (vendored facade).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let body = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let expr = deserialize_fields_expr(&name, &fields, "__v");
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 ::std::result::Result::Ok({expr})\n\
+                 }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let expr =
+                        deserialize_fields_expr(&format!("{name}::{vname}"), &v.fields, "__inner");
+                    format!("\"{vname}\" => ::std::result::Result::Ok({expr}),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                 {unit_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                 }},\n\
+                 ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__entries[0];\n\
+                 match __tag.as_str() {{\n\
+                 {data_arms}\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"unknown {name} variant {{__other}}\"))),\n\
+                 }}\n\
+                 }},\n\
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected {name} variant, got {{__other:?}}\"))),\n\
+                 }}\n\
+                 }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    };
+    body.parse().expect("serde_derive: generated invalid Rust")
+}

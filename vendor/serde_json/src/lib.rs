@@ -1,0 +1,114 @@
+//! Vendored minimal `serde_json`.
+//!
+//! Thin JSON front-end over the vendored serde facade's [`Value`] tree:
+//! `to_string`/`to_string_pretty` render a serialized value, `from_str`
+//! parses a JSON document and rebuilds the target type. Covers the slice
+//! of the real crate this workspace uses (no streaming, no borrowed data).
+
+pub use serde::value::Value;
+
+use serde::{Deserialize, Serialize};
+
+/// A JSON serialization or deserialization error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "JSON error: {}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The usual `serde_json::Result` alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render_compact())
+}
+
+/// Serializes `value` as human-indented JSON.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().render_pretty())
+}
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Rebuilds a `T` from a [`Value`] tree.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T> {
+    T::from_value(value).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Parses a JSON document and rebuilds a `T` from it.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let v = serde::value::Parser::new(s)
+        .parse_document()
+        .map_err(|e| Error::new(e.to_string()))?;
+    T::from_value(&v).map_err(|e| Error::new(e.to_string()))
+}
+
+/// Builds a [`Value`] from JSON-looking syntax. Supports `null`, flat
+/// arrays, and one level of object nesting with expression values — the
+/// shapes this workspace actually writes.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( (::std::string::String::from($key), $crate::json!($val)) ),*
+        ])
+    };
+    ($other:expr) => {
+        ::serde::Serialize::to_value(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let rows = vec![(1u32, 2.5f64), (3, 4.0)];
+        let text = to_string(&rows).unwrap();
+        let back: Vec<(u32, f64)> = from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn pretty_output_parses_back() {
+        let rows = vec![vec![1u64, 2], vec![3]];
+        let text = to_string_pretty(&rows).unwrap();
+        assert!(text.contains('\n'));
+        let back: Vec<Vec<u64>> = from_str(&text).unwrap();
+        assert_eq!(back, rows);
+    }
+
+    #[test]
+    fn json_macro_builds_objects() {
+        let tags = vec![1u32, 2u32];
+        let v = json!({ "name": "run", "n": 3u32, "tags": tags, "none": Option::<u32>::None });
+        let text = v.render_compact();
+        assert!(text.starts_with('{'));
+        assert!(text.contains("\"name\":\"run\""));
+        assert!(text.contains("\"tags\":[1,2]"));
+        assert!(text.contains("\"none\":null"));
+        assert_eq!(json!(null), Value::Null);
+    }
+}
