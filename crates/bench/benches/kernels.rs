@@ -1,0 +1,95 @@
+//! Microbenchmarks for the BFS kernels behind the budget oracle: scalar
+//! top-down vs direction-optimizing single-source BFS, and a full
+//! 64-source multi-source wave vs 64 sequential single-source runs.
+
+use cp_gen::datasets::{DatasetKind, DatasetProfile};
+use cp_graph::bfs::{bfs_into, bfs_scalar_into, BfsWorkspace};
+use cp_graph::msbfs::{msbfs_into, MsBfsWorkspace, WAVE_WIDTH};
+use cp_graph::{Graph, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn dataset(kind: DatasetKind) -> Graph {
+    DatasetProfile::scaled(kind, 0.1)
+        .generate(7)
+        .snapshot_at_fraction(1.0)
+}
+
+fn bench_single_source_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bfs_kernel_single_source");
+    for kind in DatasetKind::ALL {
+        let g = dataset(kind);
+        group.throughput(Throughput::Elements(g.num_edges() as u64));
+        group.bench_with_input(BenchmarkId::new("scalar", kind.name()), &g, |b, g| {
+            let mut ws = BfsWorkspace::new();
+            let mut dist = Vec::new();
+            let mut src = 0u32;
+            b.iter(|| {
+                bfs_scalar_into(g, NodeId(src % g.num_nodes() as u32), &mut dist, &mut ws);
+                src = src.wrapping_add(97);
+                black_box(dist.len())
+            });
+        });
+        group.bench_with_input(
+            BenchmarkId::new("direction_optimizing", kind.name()),
+            &g,
+            |b, g| {
+                let mut ws = BfsWorkspace::new();
+                let mut dist = Vec::new();
+                let mut src = 0u32;
+                b.iter(|| {
+                    bfs_into(g, NodeId(src % g.num_nodes() as u32), &mut dist, &mut ws);
+                    src = src.wrapping_add(97);
+                    black_box(dist.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_wave_vs_sequential(c: &mut Criterion) {
+    // One full 64-source wave against 64 back-to-back scalar runs from the
+    // same sources: the per-edge work amortization the oracle's batched
+    // prefetch relies on.
+    let mut group = c.benchmark_group("bfs_kernel_wave64");
+    group.sample_size(10);
+    for kind in DatasetKind::ALL {
+        let g = dataset(kind);
+        let n = g.num_nodes() as u32;
+        let sources: Vec<NodeId> = (0..WAVE_WIDTH as u32).map(|i| NodeId(i * 97 % n)).collect();
+        group.throughput(Throughput::Elements(
+            WAVE_WIDTH as u64 * g.num_edges() as u64,
+        ));
+        group.bench_with_input(
+            BenchmarkId::new("sequential_scalar", kind.name()),
+            &g,
+            |b, g| {
+                let mut ws = BfsWorkspace::new();
+                let mut dist = Vec::new();
+                b.iter(|| {
+                    for &s in &sources {
+                        bfs_scalar_into(g, s, &mut dist, &mut ws);
+                    }
+                    black_box(dist.len())
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("msbfs_wave", kind.name()), &g, |b, g| {
+            let mut msws = MsBfsWorkspace::new();
+            let mut rows: Vec<Vec<u32>> = vec![Vec::new(); sources.len()];
+            b.iter(|| {
+                msbfs_into(g, &sources, &mut rows, &mut msws);
+                black_box(rows.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_source_kernels,
+    bench_wave_vs_sequential
+);
+criterion_main!(benches);

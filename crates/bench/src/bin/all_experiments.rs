@@ -104,10 +104,16 @@ fn main() {
                 agg.selector_secs += row.stats.selector_secs;
                 agg.prefetch_secs += row.stats.prefetch_secs;
                 agg.scan_secs += row.stats.scan_secs;
+                agg.sssp_secs += row.stats.sssp_secs;
                 agg.sssp_computed += row.stats.sssp_computed;
                 agg.cache_hits += row.stats.cache_hits;
                 agg.cache_misses += row.stats.cache_misses;
                 agg.threads = row.stats.threads;
+                agg.kernel = row.stats.kernel;
+                agg.kernel_stats.msbfs_waves += row.stats.kernel_stats.msbfs_waves;
+                agg.kernel_stats.msbfs_rows += row.stats.kernel_stats.msbfs_rows;
+                agg.kernel_stats.bfs_rows += row.stats.kernel_stats.bfs_rows;
+                agg.kernel_stats.dijkstra_rows += row.stats.kernel_stats.dijkstra_rows;
                 cells.push(pct(row.coverage));
             }
             rows.push(cells);
@@ -115,12 +121,21 @@ fn main() {
         stats_rows.push(vec![
             snaps.name.clone(),
             agg.threads.to_string(),
+            agg.kernel.name().to_string(),
             agg.sssp_computed.to_string(),
+            agg.kernel_stats.msbfs_waves.to_string(),
+            format!(
+                "{}/{}/{}",
+                agg.kernel_stats.msbfs_rows,
+                agg.kernel_stats.bfs_rows,
+                agg.kernel_stats.dijkstra_rows
+            ),
             agg.cache_hits.to_string(),
             agg.cache_misses.to_string(),
             format!("{:.3}", agg.selector_secs),
             format!("{:.3}", agg.prefetch_secs),
             format!("{:.3}", agg.scan_secs),
+            format!("{:.3}", agg.sssp_secs),
         ]);
         let header: Vec<String> = std::iter::once("selector".to_string())
             .chain(slack_levels.iter().map(|s| {
@@ -143,12 +158,16 @@ fn main() {
         &[
             "dataset",
             "threads",
+            "kernel",
             "sssp",
+            "waves",
+            "ms/bfs/dij rows",
             "cache hit",
             "cache miss",
             "select s",
             "prefetch s",
             "scan s",
+            "sssp s",
         ],
         &stats_rows,
     );

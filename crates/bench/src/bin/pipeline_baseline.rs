@@ -1,12 +1,27 @@
-//! Machine-readable perf baseline for the parallel pipeline.
+//! Machine-readable perf baseline for the parallel pipeline and its BFS
+//! kernels.
 //!
 //! Runs the Table 5 pipeline (every selector of the suite on every
-//! dataset at the paper's budget) twice — once with the oracle pinned to
-//! a single worker thread, once with the configured thread count — and
-//! writes the wall-clock comparison to `BENCH_pipeline.json` in the
-//! current directory. Both runs produce bit-identical pairs and ledgers
-//! (see `crates/core/tests/parallel_equivalence.rs`); only the timing
-//! differs, which is what this baseline records.
+//! dataset at the paper's budget) three times per dataset —
+//!
+//! 1. `scalar` kernel, one worker thread (the pre-optimization baseline),
+//! 2. `auto` kernel (direction-optimizing BFS + multi-source waves), one
+//!    worker thread — isolates the pure kernel speedup,
+//! 3. `auto` kernel at the configured thread count — kernel and thread
+//!    parallelism composed,
+//!
+//! and writes the wall-clock comparison to `BENCH_pipeline.json` in the
+//! current directory (`--out=PATH` overrides). All runs produce
+//! bit-identical pairs and ledgers (see
+//! `crates/core/tests/parallel_equivalence.rs`); only the timing differs,
+//! which is what this baseline records.
+//!
+//! Two timings are recorded per sweep: `secs` (whole suite, end to end)
+//! and `sssp_secs` (the oracle's distance-row computation only, the path
+//! the kernels own). The per-dataset `kernel_speedup` compares the latter
+//! — the suite total includes IncBet's exact-betweenness grant, which the
+//! paper gives that baseline for free, runs outside the budget oracle,
+//! and is identical under every kernel.
 //!
 //! ```text
 //! cargo run --release -p cp-bench --bin pipeline_baseline -- --scale=0.25
@@ -14,21 +29,48 @@
 
 use cp_bench::{scaled_budget, Options};
 use cp_core::exact::TopKSpec;
-use cp_core::oracle::SnapshotOracle;
+use cp_core::oracle::{BfsKernel, SnapshotOracle};
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::run_pipeline;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Timing of one (dataset, thread-count) pipeline sweep.
+/// Timing of one (dataset, kernel, thread-count) pipeline sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct SweepTiming {
     dataset: String,
+    kernel: String,
     threads: usize,
     /// Best-of-repeats wall clock of the whole selector suite, seconds.
     secs: f64,
-    /// SSSPs charged across the suite (identical for every thread count).
+    /// Oracle distance-row computation seconds within the best repeat.
+    sssp_secs: f64,
+    /// SSSPs charged across the suite (identical for every configuration).
     sssp_computed: u64,
+    /// Multi-source waves run (0 under the scalar kernel).
+    msbfs_waves: u64,
+    /// Rows produced by multi-source waves.
+    msbfs_rows: u64,
+}
+
+/// Per-dataset kernel comparison at one worker thread.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct DatasetSummary {
+    dataset: String,
+    /// Whole suite, scalar kernel, one thread.
+    scalar_single_secs: f64,
+    /// Whole suite, optimized kernel, one thread.
+    optimized_single_secs: f64,
+    /// Oracle SSSP time within the scalar single-thread run.
+    scalar_sssp_secs: f64,
+    /// Oracle SSSP time within the optimized single-thread run.
+    optimized_sssp_secs: f64,
+    /// `scalar_sssp_secs / optimized_sssp_secs`: the single-thread
+    /// speedup of the distance-row path the kernels own.
+    kernel_speedup: f64,
+    /// `scalar_single_secs / optimized_single_secs`: whole suite,
+    /// including work no kernel touches.
+    suite_speedup: f64,
 }
 
 /// The written baseline document.
@@ -41,9 +83,19 @@ struct Baseline {
     repeats: u32,
     threads_multi: usize,
     sweeps: Vec<SweepTiming>,
-    single_thread_secs: f64,
+    datasets: Vec<DatasetSummary>,
+    /// Suite totals: scalar kernel, one thread.
+    scalar_single_secs: f64,
+    /// Suite totals: optimized kernel, one thread.
+    optimized_single_secs: f64,
+    /// Suite totals: optimized kernel, `threads_multi` threads.
     multi_thread_secs: f64,
-    speedup: f64,
+    /// Single-thread kernel speedup on the oracle SSSP path, scalar vs
+    /// optimized, summed over datasets.
+    kernel_speedup: f64,
+    /// End-to-end speedup of the optimized parallel configuration over
+    /// the scalar single-thread baseline.
+    total_speedup: f64,
 }
 
 const REPEATS: u32 = 3;
@@ -54,45 +106,90 @@ fn main() {
     let m = scaled_budget(100, opts.scale);
     let spec = TopKSpec::ThresholdFromMax { slack: 1 };
     let suite = SelectorKind::table5_suite();
+    let out = opts.out.as_deref().unwrap_or("BENCH_pipeline.json");
 
     eprintln!(
-        "pipeline_baseline: scale {}, seed {}, m {m}, 1 vs {threads_multi} threads",
+        "pipeline_baseline: scale {}, seed {}, m {m}, scalar@1 vs auto@1 vs auto@{threads_multi}",
         opts.scale, opts.seed
     );
 
+    let configs = [
+        (BfsKernel::Scalar, 1usize),
+        (BfsKernel::Auto, 1),
+        (BfsKernel::Auto, threads_multi),
+    ];
     let all = opts.all_snapshots();
     let mut sweeps: Vec<SweepTiming> = Vec::new();
-    let mut totals = [0.0f64; 2]; // [single, multi]
+    let mut datasets: Vec<DatasetSummary> = Vec::new();
+    let mut totals = [0.0f64; 3]; // [scalar@1, auto@1, auto@multi]
+    let mut sssp_totals = [0.0f64; 2]; // [scalar@1, auto@1]
 
     for snaps in &all {
-        for (slot, threads) in [(0usize, 1usize), (1, threads_multi)] {
+        let mut per_config = [0.0f64; 3];
+        let mut per_config_sssp = [0.0f64; 3];
+        for (slot, &(kernel, threads)) in configs.iter().enumerate() {
             let mut best = f64::INFINITY;
+            let mut best_sssp = 0.0f64;
             let mut sssp = 0u64;
+            let mut waves = 0u64;
+            let mut wave_rows = 0u64;
             for _ in 0..REPEATS {
                 let started = Instant::now();
                 let mut spent = 0u64;
+                let mut w = 0u64;
+                let mut wr = 0u64;
+                let mut sssp_s = 0.0f64;
                 for &kind in &suite {
                     let mut oracle = SnapshotOracle::with_budget(&snaps.g1, &snaps.g2, 2 * m)
-                        .with_threads(threads);
+                        .with_threads(threads)
+                        .with_kernel(kernel);
                     let mut sel = kind.build(opts.seed);
                     let res = run_pipeline(&mut oracle, sel.as_mut(), &spec);
                     spent += res.stats.sssp_computed;
+                    w += res.stats.kernel_stats.msbfs_waves;
+                    wr += res.stats.kernel_stats.msbfs_rows;
+                    sssp_s += res.stats.sssp_secs;
                 }
-                best = best.min(started.elapsed().as_secs_f64());
+                let elapsed = started.elapsed().as_secs_f64();
+                if elapsed < best {
+                    best = elapsed;
+                    best_sssp = sssp_s;
+                }
                 sssp = spent;
+                waves = w;
+                wave_rows = wr;
             }
             eprintln!(
-                "  {} @ {threads} thread(s): {best:.3}s ({sssp} SSSPs)",
-                snaps.name
+                "  {} [{}] @ {threads} thread(s): {best:.3}s suite, {best_sssp:.3}s sssp \
+                 ({sssp} SSSPs, {waves} waves)",
+                snaps.name,
+                kernel.name()
             );
             totals[slot] += best;
+            per_config[slot] = best;
+            per_config_sssp[slot] = best_sssp;
             sweeps.push(SweepTiming {
                 dataset: snaps.name.clone(),
+                kernel: kernel.name().to_string(),
                 threads,
                 secs: best,
+                sssp_secs: best_sssp,
                 sssp_computed: sssp,
+                msbfs_waves: waves,
+                msbfs_rows: wave_rows,
             });
         }
+        sssp_totals[0] += per_config_sssp[0];
+        sssp_totals[1] += per_config_sssp[1];
+        datasets.push(DatasetSummary {
+            dataset: snaps.name.clone(),
+            scalar_single_secs: per_config[0],
+            optimized_single_secs: per_config[1],
+            scalar_sssp_secs: per_config_sssp[0],
+            optimized_sssp_secs: per_config_sssp[1],
+            kernel_speedup: per_config_sssp[0] / per_config_sssp[1].max(f64::MIN_POSITIVE),
+            suite_speedup: per_config[0] / per_config[1].max(f64::MIN_POSITIVE),
+        });
     }
 
     let baseline = Baseline {
@@ -103,15 +200,26 @@ fn main() {
         repeats: REPEATS,
         threads_multi,
         sweeps,
-        single_thread_secs: totals[0],
-        multi_thread_secs: totals[1],
-        speedup: totals[0] / totals[1].max(f64::MIN_POSITIVE),
+        datasets,
+        scalar_single_secs: totals[0],
+        optimized_single_secs: totals[1],
+        multi_thread_secs: totals[2],
+        kernel_speedup: sssp_totals[0] / sssp_totals[1].max(f64::MIN_POSITIVE),
+        total_speedup: totals[0] / totals[2].max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
-    std::fs::write("BENCH_pipeline.json", &rendered).expect("write BENCH_pipeline.json");
+    std::fs::write(out, &rendered).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("{rendered}");
     eprintln!(
-        "wrote BENCH_pipeline.json: {:.3}s single vs {:.3}s multi ({:.2}x)",
-        baseline.single_thread_secs, baseline.multi_thread_secs, baseline.speedup
+        "wrote {out}: sssp path {:.3}s scalar vs {:.3}s optimized single-thread ({:.2}x kernel); \
+         suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads ({:.2}x total)",
+        sssp_totals[0],
+        sssp_totals[1],
+        baseline.kernel_speedup,
+        baseline.scalar_single_secs,
+        baseline.optimized_single_secs,
+        baseline.multi_thread_secs,
+        baseline.threads_multi,
+        baseline.total_speedup
     );
 }

@@ -9,6 +9,8 @@
 //! * `--seed=N`    — generator seed (default 42).
 //! * `--threads=N` — BFS worker threads (default: available parallelism).
 //! * `--json`      — additionally emit rows as JSON lines on stdout.
+//! * `--out=PATH`  — override the report path of binaries that write one
+//!   (`pipeline_baseline`); the default stays the checked-in location.
 //!
 //! Output is a plain text table, shaped like the corresponding table or
 //! figure series in the paper, so paper-vs-measured comparison (recorded
@@ -28,6 +30,9 @@ pub struct Options {
     pub threads: usize,
     /// Emit JSON lines in addition to the table.
     pub json: bool,
+    /// Output file override for binaries that write a report (e.g.
+    /// `pipeline_baseline`); `None` means the binary's default path.
+    pub out: Option<String>,
 }
 
 impl Default for Options {
@@ -37,6 +42,7 @@ impl Default for Options {
             seed: 42,
             threads: cp_graph::apsp::default_threads(),
             json: false,
+            out: None,
         }
     }
 }
@@ -57,10 +63,12 @@ impl Options {
                 opts.seed = v.parse().unwrap_or_else(|_| usage(&arg));
             } else if let Some(v) = arg.strip_prefix("--threads=") {
                 opts.threads = v.parse().unwrap_or_else(|_| usage(&arg));
+            } else if let Some(v) = arg.strip_prefix("--out=") {
+                opts.out = Some(v.to_string());
             } else if arg == "--json" {
                 opts.json = true;
             } else if arg == "--help" || arg == "-h" {
-                eprintln!("options: --scale=F --seed=N --threads=N --json");
+                eprintln!("options: --scale=F --seed=N --threads=N --json --out=PATH");
                 std::process::exit(0);
             } else {
                 usage(&arg);
@@ -91,7 +99,7 @@ impl Options {
 
 fn usage(arg: &str) -> ! {
     eprintln!("unrecognized argument: {arg}");
-    eprintln!("options: --scale=F --seed=N --threads=N --json");
+    eprintln!("options: --scale=F --seed=N --threads=N --json --out=PATH");
     std::process::exit(2);
 }
 
@@ -146,14 +154,21 @@ mod tests {
     #[test]
     fn parse_options() {
         let opts = Options::parse(
-            ["--scale=0.5", "--seed=7", "--threads=3", "--json"]
-                .iter()
-                .map(|s| s.to_string()),
+            [
+                "--scale=0.5",
+                "--seed=7",
+                "--threads=3",
+                "--json",
+                "--out=/tmp/report.json",
+            ]
+            .iter()
+            .map(|s| s.to_string()),
         );
         assert_eq!(opts.scale, 0.5);
         assert_eq!(opts.seed, 7);
         assert_eq!(opts.threads, 3);
         assert!(opts.json);
+        assert_eq!(opts.out.as_deref(), Some("/tmp/report.json"));
     }
 
     #[test]

@@ -8,8 +8,9 @@
 //! selectors reuse their `G_t1` rows), and a hard cap turns overdraft into
 //! an error instead of a silently broken experiment.
 
-use cp_graph::bfs::{bfs_into, BfsWorkspace};
+use cp_graph::bfs::{bfs_into, bfs_scalar_into, BfsWorkspace};
 use cp_graph::dijkstra::dijkstra_into;
+use cp_graph::msbfs::{msbfs_into, MsBfsWorkspace, WAVE_WIDTH};
 use cp_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -29,6 +30,61 @@ pub fn threads_from_env() -> usize {
         Some(t) if t > 0 => t,
         _ => cp_graph::apsp::default_threads(),
     }
+}
+
+/// Which unweighted SSSP kernel the oracle runs.
+///
+/// Kernel choice never changes *what* is computed: BFS distance rows are
+/// uniquely determined by the graph, so pairs, candidates, and ledger are
+/// bit-identical under either kernel (property-tested in
+/// `crates/core/tests/parallel_equivalence.rs`). Weighted snapshots always
+/// fall back to Dijkstra regardless of this setting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BfsKernel {
+    /// The reference scalar top-down BFS, one source at a time — the
+    /// pre-optimization behaviour, kept for A/B runs.
+    Scalar,
+    /// Direction-optimizing single-source BFS plus bit-parallel
+    /// multi-source waves (≤ 64 admitted sources per graph sweep) for
+    /// batched prefetches. The default.
+    #[default]
+    Auto,
+}
+
+impl BfsKernel {
+    /// Reads `CP_BFS_KERNEL` (`scalar` | `auto`); anything else (or unset)
+    /// means [`BfsKernel::Auto`].
+    pub fn from_env() -> Self {
+        match std::env::var("CP_BFS_KERNEL") {
+            Ok(s) if s.trim().eq_ignore_ascii_case("scalar") => BfsKernel::Scalar,
+            _ => BfsKernel::Auto,
+        }
+    }
+
+    /// The knob spelling of this kernel (`"scalar"` / `"auto"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            BfsKernel::Scalar => "scalar",
+            BfsKernel::Auto => "auto",
+        }
+    }
+}
+
+/// Per-kernel work counters: how the charged SSSPs were actually computed.
+///
+/// `msbfs_rows + bfs_rows + dijkstra_rows` equals the number of fresh rows
+/// (= ledger total); `msbfs_waves` counts graph sweeps, each covering up
+/// to 64 of the `msbfs_rows`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelStats {
+    /// Multi-source waves run (one graph sweep each).
+    pub msbfs_waves: u64,
+    /// Rows produced by multi-source waves.
+    pub msbfs_rows: u64,
+    /// Rows produced by single-source BFS (scalar or direction-optimizing).
+    pub bfs_rows: u64,
+    /// Rows produced by Dijkstra (weighted snapshots).
+    pub dijkstra_rows: u64,
 }
 
 /// Which accounting bucket an SSSP computation lands in (paper Table 1).
@@ -133,7 +189,11 @@ pub struct SnapshotOracle<'a> {
     rows1: HashMap<u32, Vec<u32>>,
     rows2: HashMap<u32, Vec<u32>>,
     ws: BfsWorkspace,
+    msws: MsBfsWorkspace,
     threads: usize,
+    kernel: BfsKernel,
+    kstats: KernelStats,
+    sssp_secs: f64,
     cache_hits: u64,
     cache_misses: u64,
 }
@@ -166,7 +226,11 @@ impl<'a> SnapshotOracle<'a> {
             rows1: HashMap::new(),
             rows2: HashMap::new(),
             ws: BfsWorkspace::new(),
+            msws: MsBfsWorkspace::new(),
             threads: threads_from_env(),
+            kernel: BfsKernel::from_env(),
+            kstats: KernelStats::default(),
+            sssp_secs: 0.0,
             cache_hits: 0,
             cache_misses: 0,
         }
@@ -187,6 +251,37 @@ impl<'a> SnapshotOracle<'a> {
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Sets the unweighted SSSP kernel (builder style). Kernel choice
+    /// never changes results — only wall clock.
+    pub fn with_kernel(mut self, kernel: BfsKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Sets the unweighted SSSP kernel.
+    pub fn set_kernel(&mut self, kernel: BfsKernel) {
+        self.kernel = kernel;
+    }
+
+    /// The configured kernel.
+    pub fn kernel(&self) -> BfsKernel {
+        self.kernel
+    }
+
+    /// Per-kernel work counters accumulated so far.
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kstats
+    }
+
+    /// Wall-clock seconds spent computing distance rows (single requests
+    /// and batched fan-outs alike), across every phase. This is the time
+    /// the BFS kernels own — the number `pipeline_baseline` compares
+    /// across kernels; it excludes selector scoring, Δ scans, and
+    /// anything else outside the oracle.
+    pub fn sssp_secs(&self) -> f64 {
+        self.sssp_secs
     }
 
     /// `(hits, misses)`: row requests served from cache vs. computed.
@@ -291,12 +386,19 @@ impl<'a> SnapshotOracle<'a> {
                 Snapshot::First => self.g1,
                 Snapshot::Second => self.g2,
             };
+            let started = std::time::Instant::now();
             let mut dist = Vec::new();
             if graph.is_weighted() {
                 dijkstra_into(graph, u, &mut dist);
+                self.kstats.dijkstra_rows += 1;
             } else {
-                bfs_into(graph, u, &mut dist, &mut self.ws);
+                match self.kernel {
+                    BfsKernel::Scalar => bfs_scalar_into(graph, u, &mut dist, &mut self.ws),
+                    BfsKernel::Auto => bfs_into(graph, u, &mut dist, &mut self.ws),
+                }
+                self.kstats.bfs_rows += 1;
             }
+            self.sssp_secs += started.elapsed().as_secs_f64();
             match which {
                 Snapshot::First => self.rows1.insert(u.0, dist),
                 Snapshot::Second => self.rows2.insert(u.0, dist),
@@ -426,70 +528,163 @@ impl<'a> SnapshotOracle<'a> {
         report
     }
 
+    fn graph_of(&self, which: Snapshot) -> &'a Graph {
+        match which {
+            Snapshot::First => self.g1,
+            Snapshot::Second => self.g2,
+        }
+    }
+
+    /// Plans the kernel work items for a job batch: under [`BfsKernel::Auto`]
+    /// the unweighted jobs of each snapshot are chunked, in admission order,
+    /// into multi-source waves of at most [`WAVE_WIDTH`] sources; weighted
+    /// jobs (and every job under [`BfsKernel::Scalar`]) become single-source
+    /// items. Each item carries the indices of the jobs it resolves.
+    fn plan_items(&self, jobs: &[(Snapshot, u32)]) -> Vec<(Snapshot, Vec<usize>)> {
+        let mut items: Vec<(Snapshot, Vec<usize>)> = Vec::new();
+        if self.kernel == BfsKernel::Auto {
+            let mut snap1: Vec<usize> = Vec::new();
+            let mut snap2: Vec<usize> = Vec::new();
+            for (i, &(which, _)) in jobs.iter().enumerate() {
+                if self.graph_of(which).is_weighted() {
+                    items.push((which, vec![i]));
+                } else {
+                    match which {
+                        Snapshot::First => snap1.push(i),
+                        Snapshot::Second => snap2.push(i),
+                    }
+                }
+            }
+            for (which, idxs) in [(Snapshot::First, snap1), (Snapshot::Second, snap2)] {
+                for chunk in idxs.chunks(WAVE_WIDTH) {
+                    items.push((which, chunk.to_vec()));
+                }
+            }
+        } else {
+            items.extend(
+                jobs.iter()
+                    .enumerate()
+                    .map(|(i, &(which, _))| (which, vec![i])),
+            );
+        }
+        items
+    }
+
     /// Computes the (deduplicated, already charged) row jobs and merges
     /// them into the caches — in parallel above [`PARALLEL_ROW_CUTOFF`],
-    /// inline otherwise. Each worker owns its scratch; the shared state is
-    /// one atomic job cursor and disjoint per-job result slots.
+    /// inline otherwise. Jobs are grouped into kernel work items first
+    /// (multi-source waves under [`BfsKernel::Auto`]); the scoped-worker
+    /// fan-out then distributes *items*, so wave batching composes with
+    /// thread parallelism. Each worker owns its scratch; the shared state
+    /// is one atomic item cursor and disjoint per-item result slots. Row
+    /// contents are kernel- and thread-invariant, so cache, ledger, and
+    /// every later read are identical under any configuration.
     fn compute_jobs(&mut self, jobs: &[(Snapshot, u32)]) {
-        let threads = self.threads.min(jobs.len()).max(1);
-        if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
-            for &(which, u) in jobs {
-                let graph = match which {
-                    Snapshot::First => self.g1,
-                    Snapshot::Second => self.g2,
-                };
-                let mut dist = Vec::new();
-                if graph.is_weighted() {
-                    dijkstra_into(graph, NodeId(u), &mut dist);
-                } else {
-                    bfs_into(graph, NodeId(u), &mut dist, &mut self.ws);
-                }
-                match which {
-                    Snapshot::First => self.rows1.insert(u, dist),
-                    Snapshot::Second => self.rows2.insert(u, dist),
-                };
+        if jobs.is_empty() {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let items = self.plan_items(jobs);
+        for (which, idxs) in &items {
+            if self.graph_of(*which).is_weighted() {
+                self.kstats.dijkstra_rows += idxs.len() as u64;
+            } else if idxs.len() >= 2 {
+                self.kstats.msbfs_waves += 1;
+                self.kstats.msbfs_rows += idxs.len() as u64;
+            } else {
+                self.kstats.bfs_rows += idxs.len() as u64;
             }
+        }
+        let threads = self.threads.min(items.len()).max(1);
+        if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
+            for (which, idxs) in &items {
+                let graph = self.graph_of(*which);
+                let computed =
+                    compute_item(graph, self.kernel, jobs, idxs, &mut self.ws, &mut self.msws);
+                self.merge_rows(jobs, computed);
+            }
+            self.sssp_secs += started.elapsed().as_secs_f64();
             return;
         }
         let (g1, g2) = (self.g1, self.g2);
-        let slots: Vec<parking_lot::Mutex<Vec<u32>>> = (0..jobs.len())
+        let kernel = self.kernel;
+        type ItemSlot = parking_lot::Mutex<Vec<(usize, Vec<u32>)>>;
+        let slots: Vec<ItemSlot> = (0..items.len())
             .map(|_| parking_lot::Mutex::new(Vec::new()))
             .collect();
         let cursor = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|_| {
-                    let mut dist = Vec::new();
                     let mut ws = BfsWorkspace::new();
+                    let mut msws = MsBfsWorkspace::new();
                     loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
+                        if i >= items.len() {
                             break;
                         }
-                        let (which, u) = jobs[i];
+                        let (which, idxs) = &items[i];
                         let graph = match which {
                             Snapshot::First => g1,
                             Snapshot::Second => g2,
                         };
-                        if graph.is_weighted() {
-                            dijkstra_into(graph, NodeId(u), &mut dist);
-                        } else {
-                            bfs_into(graph, NodeId(u), &mut dist, &mut ws);
-                        }
-                        *slots[i].lock() = std::mem::take(&mut dist);
+                        *slots[i].lock() =
+                            compute_item(graph, kernel, jobs, idxs, &mut ws, &mut msws);
                     }
                 });
             }
         })
         .expect("prefetch worker panicked");
-        for (slot, &(which, u)) in slots.into_iter().zip(jobs) {
-            let dist = slot.into_inner();
+        for slot in slots {
+            self.merge_rows(jobs, slot.into_inner());
+        }
+        self.sssp_secs += started.elapsed().as_secs_f64();
+    }
+
+    /// Inserts computed `(job index, row)` results into the snapshot caches.
+    fn merge_rows(&mut self, jobs: &[(Snapshot, u32)], computed: Vec<(usize, Vec<u32>)>) {
+        for (idx, dist) in computed {
+            let (which, u) = jobs[idx];
             match which {
                 Snapshot::First => self.rows1.insert(u, dist),
                 Snapshot::Second => self.rows2.insert(u, dist),
             };
         }
     }
+}
+
+/// Runs one kernel work item — a multi-source wave (≥ 2 unweighted
+/// sources) or a single-source BFS/Dijkstra — returning the produced rows
+/// tagged with their job indices.
+fn compute_item(
+    graph: &Graph,
+    kernel: BfsKernel,
+    jobs: &[(Snapshot, u32)],
+    idxs: &[usize],
+    ws: &mut BfsWorkspace,
+    msws: &mut MsBfsWorkspace,
+) -> Vec<(usize, Vec<u32>)> {
+    if idxs.len() >= 2 && !graph.is_weighted() {
+        let sources: Vec<NodeId> = idxs.iter().map(|&i| NodeId(jobs[i].1)).collect();
+        let mut rows: Vec<Vec<u32>> = (0..idxs.len()).map(|_| Vec::new()).collect();
+        msbfs_into(graph, &sources, &mut rows, msws);
+        return idxs.iter().copied().zip(rows).collect();
+    }
+    idxs.iter()
+        .map(|&i| {
+            let u = NodeId(jobs[i].1);
+            let mut dist = Vec::new();
+            if graph.is_weighted() {
+                dijkstra_into(graph, u, &mut dist);
+            } else {
+                match kernel {
+                    BfsKernel::Scalar => bfs_scalar_into(graph, u, &mut dist, ws),
+                    BfsKernel::Auto => bfs_into(graph, u, &mut dist, ws),
+                }
+            }
+            (i, dist)
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -182,11 +182,16 @@ pub fn selective_expansion(
 ) -> SelectiveExpansion {
     let threads = cp_graph::apsp::default_threads();
     let bt = betweenness_exact(g2, threads);
-    let importance = |u: NodeId| -> f64 {
-        g2.neighbors_with_edge_ids(u)
-            .map(|(_, e)| bt.edge[e as usize])
-            .sum()
-    };
+    // Precomputed once: the ranking below would otherwise re-sum a node's
+    // incident edge scores on every sort comparison (O(deg) per probe).
+    let importance: Vec<f64> = g2
+        .nodes()
+        .map(|u| {
+            g2.neighbors_with_edge_ids(u)
+                .map(|(_, e)| bt.edge[e as usize])
+                .sum()
+        })
+        .collect();
 
     let mut frontier: Vec<NodeId> = active_nodes(g1, g2);
     let mut in_set: std::collections::HashSet<NodeId> = frontier.iter().copied().collect();
@@ -211,7 +216,11 @@ pub fn selective_expansion(
             .collect();
         neighbors.sort_unstable();
         neighbors.dedup();
-        neighbors.sort_by(|&a, &b| importance(b).total_cmp(&importance(a)).then(a.cmp(&b)));
+        neighbors.sort_by(|&a, &b| {
+            importance[b.index()]
+                .total_cmp(&importance[a.index()])
+                .then(a.cmp(&b))
+        });
         neighbors.truncate(per_round);
         if neighbors.is_empty() {
             break;

@@ -12,7 +12,7 @@
 //!    the pairs matching the [`TopKSpec`] are returned.
 
 use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
-use crate::oracle::{BudgetLedger, Phase, SnapshotOracle};
+use crate::oracle::{BfsKernel, BudgetLedger, KernelStats, Phase, SnapshotOracle};
 use crate::selectors::CandidateSelector;
 use cp_graph::{distance_decrease, Graph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -36,6 +36,9 @@ pub struct PipelineStats {
     pub prefetch_secs: f64,
     /// Seconds spent in the `M × V` Δ scan.
     pub scan_secs: f64,
+    /// Seconds the oracle spent computing distance rows across *all*
+    /// phases (selector probes included) — the time the BFS kernels own.
+    pub sssp_secs: f64,
     /// Total SSSP computations charged (equals the ledger total).
     pub sssp_computed: u64,
     /// Row requests served from cache (free).
@@ -44,6 +47,12 @@ pub struct PipelineStats {
     pub cache_misses: u64,
     /// Worker threads the oracle was configured with.
     pub threads: usize,
+    /// The unweighted SSSP kernel the oracle ran (`scalar` | `auto`).
+    pub kernel: BfsKernel,
+    /// Per-kernel work counters: multi-source waves and how many rows
+    /// each kernel produced (`msbfs_rows + bfs_rows + dijkstra_rows`
+    /// equals `sssp_computed`).
+    pub kernel_stats: KernelStats,
 }
 
 /// Output of a budgeted run.
@@ -122,10 +131,13 @@ pub fn run_pipeline(
             selector_secs,
             prefetch_secs,
             scan_secs,
+            sssp_secs: oracle.sssp_secs(),
             sssp_computed: oracle.ledger().total(),
             cache_hits,
             cache_misses,
             threads: oracle.threads(),
+            kernel: oracle.kernel(),
+            kernel_stats: oracle.kernel_stats(),
         },
     }
 }

@@ -1,15 +1,16 @@
-//! Determinism of the parallel pipeline: the thread count configured on
-//! the oracle must never change *what* is computed — pairs, candidate
-//! set, and budget ledger are bit-identical at any worker count, because
-//! budget admission is sequential and only the SSSP fan-out and the Δ
-//! scan are parallel.
+//! Determinism of the parallel pipeline: neither the thread count nor the
+//! BFS kernel configured on the oracle may change *what* is computed —
+//! pairs, candidate set, and budget ledger are bit-identical at any worker
+//! count and under either kernel, because budget admission is sequential
+//! and BFS levels are uniquely determined by the graph; only the SSSP
+//! fan-out, the wave batching, and the Δ scan differ.
 
 use cp_core::exact::TopKSpec;
-use cp_core::oracle::SnapshotOracle;
+use cp_core::oracle::{BfsKernel, Snapshot, SnapshotOracle};
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, BudgetedResult};
 use cp_graph::builder::graph_from_edges;
-use cp_graph::Graph;
+use cp_graph::{Graph, GraphBuilder, NodeId};
 use proptest::prelude::*;
 
 /// A generated case: node count, base edges, extra edges.
@@ -43,7 +44,23 @@ fn run_with_threads(
     seed: u64,
     threads: usize,
 ) -> BudgetedResult {
-    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m).with_threads(threads);
+    run_with(g1, g2, kind, m, spec, seed, threads, BfsKernel::Auto)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with(
+    g1: &Graph,
+    g2: &Graph,
+    kind: SelectorKind,
+    m: u64,
+    spec: &TopKSpec,
+    seed: u64,
+    threads: usize,
+    kernel: BfsKernel,
+) -> BudgetedResult {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m)
+        .with_threads(threads)
+        .with_kernel(kernel);
     let mut sel = kind.build(seed);
     run_pipeline(&mut oracle, sel.as_mut(), spec)
 }
@@ -108,6 +125,36 @@ proptest! {
         }
     }
 
+    /// Scalar vs optimized kernel: identical pairs, candidates, and
+    /// ledger across thread counts — the tentpole's determinism contract.
+    #[test]
+    fn pipeline_is_kernel_invariant(
+        case in snapshot_pair(40),
+        m in 1u64..24,
+        seed in 0u64..8,
+    ) {
+        let (g1, g2) = build_graphs(&case);
+        let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+        for kind in SELECTORS {
+            let scalar = run_with(&g1, &g2, kind, m, &spec, seed, 1, BfsKernel::Scalar);
+            for threads in [1usize, 2, 8] {
+                let auto = run_with(&g1, &g2, kind, m, &spec, seed, threads, BfsKernel::Auto);
+                prop_assert_eq!(
+                    &auto.pairs, &scalar.pairs,
+                    "{} pairs diverge (auto, {} threads)", kind.name(), threads
+                );
+                prop_assert_eq!(
+                    &auto.candidates, &scalar.candidates,
+                    "{} candidates diverge (auto, {} threads)", kind.name(), threads
+                );
+                prop_assert_eq!(
+                    auto.budget, scalar.budget,
+                    "{} ledger diverges (auto, {} threads)", kind.name(), threads
+                );
+            }
+        }
+    }
+
     #[test]
     fn unbounded_oracle_is_thread_invariant(case in snapshot_pair(24)) {
         let (g1, g2) = build_graphs(&case);
@@ -125,4 +172,120 @@ proptest! {
             prop_assert_eq!(parallel.budget, baseline.budget);
         }
     }
+}
+
+/// A 70-node pair of snapshots, big enough that a 65-node batch spans a
+/// full 64-wide wave plus a remainder: a 10×7 grid in `g1`, with diagonal
+/// chords added in `g2`.
+fn grid_snapshots() -> (Graph, Graph) {
+    let n = 70usize;
+    let (w, h) = (10u32, 7u32);
+    let id = |x: u32, y: u32| y * w + x;
+    let mut base: Vec<(u32, u32)> = Vec::new();
+    for y in 0..h {
+        for x in 0..w {
+            if x + 1 < w {
+                base.push((id(x, y), id(x + 1, y)));
+            }
+            if y + 1 < h {
+                base.push((id(x, y), id(x, y + 1)));
+            }
+        }
+    }
+    let g1 = graph_from_edges(n, &base);
+    let mut all = base;
+    for y in 0..h - 1 {
+        for x in 0..w - 1 {
+            if (x + y) % 3 == 0 {
+                all.push((id(x, y), id(x + 1, y + 1)));
+            }
+        }
+    }
+    let g2 = graph_from_edges(n, &all);
+    (g1, g2)
+}
+
+/// Explicit batch widths {1, 64, 65} through `prefetch_node_rows`: every
+/// row the optimized kernel caches must be byte-identical to the scalar
+/// oracle's, and the wave counters must reflect the planned chunking.
+#[test]
+fn prefetch_batch_widths_are_kernel_invariant() {
+    let (g1, g2) = grid_snapshots();
+    for width in [1usize, 64, 65] {
+        let nodes: Vec<NodeId> = (0..width as u32).map(NodeId).collect();
+        let mut scalar = SnapshotOracle::unbounded(&g1, &g2).with_kernel(BfsKernel::Scalar);
+        let mut auto = SnapshotOracle::unbounded(&g1, &g2)
+            .with_kernel(BfsKernel::Auto)
+            .with_threads(4);
+        let rs = scalar.prefetch_node_rows(&nodes);
+        let ra = auto.prefetch_node_rows(&nodes);
+        assert_eq!(rs, ra, "width {width}: prefetch reports diverge");
+        assert_eq!(scalar.ledger(), auto.ledger(), "width {width}");
+        for &u in &nodes {
+            for which in [Snapshot::First, Snapshot::Second] {
+                assert_eq!(
+                    scalar.cached_row(which, u),
+                    auto.cached_row(which, u),
+                    "width {width}: row of {u} diverges in {which:?}"
+                );
+            }
+        }
+        let ks = auto.kernel_stats();
+        // Each snapshot's batch of `width` sources is chunked into
+        // ceil(width / 64) waves; single-row remainders go to plain BFS.
+        let (waves, wave_rows) = match width {
+            1 => (0, 0),
+            64 => (2, 128),
+            65 => (2, 128),
+            _ => unreachable!(),
+        };
+        assert_eq!(ks.msbfs_waves, waves, "width {width}");
+        assert_eq!(ks.msbfs_rows, wave_rows, "width {width}");
+        assert_eq!(
+            ks.msbfs_rows + ks.bfs_rows + ks.dijkstra_rows,
+            auto.ledger().total(),
+            "width {width}: row counters must add up to the ledger"
+        );
+        assert_eq!(scalar.kernel_stats().msbfs_waves, 0);
+    }
+}
+
+/// Weighted snapshots always fall back to Dijkstra: the optimized kernel
+/// plans no waves and the rows are identical to the scalar oracle's.
+#[test]
+fn weighted_snapshots_fall_back_to_dijkstra() {
+    let weighted = |extra: &[(u32, u32, u32)]| {
+        let mut b = GraphBuilder::new(12);
+        for i in 0..11u32 {
+            b.add_weighted_edge(NodeId(i), NodeId(i + 1), 2 + i % 3);
+        }
+        for &(u, v, w) in extra {
+            b.add_weighted_edge(NodeId(u), NodeId(v), w);
+        }
+        b.build()
+    };
+    let g1 = weighted(&[]);
+    let g2 = weighted(&[(0, 11, 1), (3, 8, 2)]);
+    assert!(g1.is_weighted() && g2.is_weighted());
+    let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
+    let mut scalar = SnapshotOracle::unbounded(&g1, &g2).with_kernel(BfsKernel::Scalar);
+    let mut auto = SnapshotOracle::unbounded(&g1, &g2)
+        .with_kernel(BfsKernel::Auto)
+        .with_threads(4);
+    scalar.prefetch_node_rows(&nodes);
+    auto.prefetch_node_rows(&nodes);
+    for &u in &nodes {
+        for which in [Snapshot::First, Snapshot::Second] {
+            assert_eq!(
+                scalar.cached_row(which, u),
+                auto.cached_row(which, u),
+                "row of {u} diverges in {which:?}"
+            );
+        }
+    }
+    let ks = auto.kernel_stats();
+    assert_eq!(ks.msbfs_waves, 0, "weighted graphs must not plan waves");
+    assert_eq!(ks.msbfs_rows, 0);
+    assert_eq!(ks.bfs_rows, 0);
+    assert_eq!(ks.dijkstra_rows, auto.ledger().total());
 }

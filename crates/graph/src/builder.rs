@@ -121,15 +121,18 @@ impl GraphBuilder {
         // slot the arcs therefore arrive with non-decreasing targets — except
         // arcs added in the `v` role, which interleave. A per-node sort fixes
         // this; adjacency slices are small so the simple approach is fine.
+        let mut pairs: Vec<(NodeId, u32)> = Vec::new();
         for u in 0..n {
             let range = offsets[u]..offsets[u + 1];
-            let mut pairs: Vec<(NodeId, u32)> = targets[range.clone()]
-                .iter()
-                .copied()
-                .zip(arc_edge[range.clone()].iter().copied())
-                .collect();
+            pairs.clear();
+            pairs.extend(
+                targets[range.clone()]
+                    .iter()
+                    .copied()
+                    .zip(arc_edge[range].iter().copied()),
+            );
             pairs.sort_unstable_by_key(|&(t, _)| t);
-            for (i, (t, e)) in pairs.into_iter().enumerate() {
+            for (i, &(t, e)) in pairs.iter().enumerate() {
                 targets[offsets[u] + i] = t;
                 arc_edge[offsets[u] + i] = e;
             }

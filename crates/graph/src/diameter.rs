@@ -6,7 +6,7 @@
 //! sanity checks on bigger graphs.
 
 use crate::apsp::for_each_source;
-use crate::bfs::farthest_node;
+use crate::bfs::{farthest_node_into, BfsWorkspace};
 use crate::graph::{Graph, NodeId};
 use crate::INF;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -35,8 +35,10 @@ pub fn diameter_exact(graph: &Graph, threads: usize) -> u32 {
 /// bound. `start` should be a node of the component of interest — pass a
 /// max-degree node for the conventional heuristic.
 pub fn diameter_double_sweep(graph: &Graph, start: NodeId) -> u32 {
-    let (far, _) = farthest_node(graph, start);
-    let (_, ecc) = farthest_node(graph, far);
+    let mut dist = vec![0u32; graph.num_nodes()];
+    let mut ws = BfsWorkspace::new();
+    let (far, _) = farthest_node_into(graph, start, &mut dist, &mut ws);
+    let (_, ecc) = farthest_node_into(graph, far, &mut dist, &mut ws);
     ecc
 }
 

@@ -97,6 +97,29 @@ impl Graph {
         &self.targets[self.offsets[u.index()]..self.offsets[u.index() + 1]]
     }
 
+    /// Number of arcs (`2 * num_edges()`): the degree sum the direction-
+    /// optimizing BFS heuristic budgets against.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// The CSR degree-prefix array: `arc_offsets()[u.index()]..
+    /// arc_offsets()[u.index() + 1]` indexes `u`'s arcs in
+    /// [`Self::arc_targets`]. Raw access for flat traversal kernels
+    /// (`bfs`, `msbfs`) that iterate all adjacency slices without
+    /// per-node slicing overhead.
+    #[inline]
+    pub fn arc_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The flat CSR target array, parallel to [`Self::arc_offsets`].
+    #[inline]
+    pub fn arc_targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
     /// Neighbors of `u` zipped with the undirected edge id of each arc.
     #[inline]
     pub fn neighbors_with_edge_ids(&self, u: NodeId) -> impl Iterator<Item = (NodeId, u32)> + '_ {
@@ -141,13 +164,22 @@ impl Graph {
         (0..self.num_nodes() as u32).map(NodeId)
     }
 
-    /// Iterator over all undirected edges as `(u, v)` with `u < v`,
-    /// in edge-id order.
+    /// Lazy iterator over all undirected edges as `(u, v)` with `u < v`,
+    /// in **node order** (ascending `u`, then ascending `v`), `O(1)` space.
+    ///
+    /// Each undirected edge is emitted exactly once, from the arc whose
+    /// source is the smaller endpoint. Callers that need **edge-id order**
+    /// (e.g. to index per-edge score arrays) must use
+    /// [`Self::edge_endpoints_vec`], which materializes the `O(m)`
+    /// endpoint table instead.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        // Reconstruct endpoints from the arc arrays: visit each node's arcs
-        // and emit the arc once, when u < v. Sorting by edge id afterwards
-        // would allocate, so instead we build the endpoint table lazily.
-        self.edge_endpoints_vec().into_iter()
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
     }
 
     /// Endpoint table indexed by edge id: `table[e] = (u, v)` with `u < v`.

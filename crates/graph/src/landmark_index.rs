@@ -12,7 +12,7 @@
 //! one per snapshot — to *certify* distance decreases without any extra
 //! SSSP work (see `cp-core`'s `estimate` module).
 
-use crate::bfs::bfs;
+use crate::bfs::{bfs_into, BfsWorkspace};
 use crate::dijkstra::dijkstra;
 use crate::graph::{Graph, NodeId};
 use crate::INF;
@@ -50,13 +50,18 @@ impl LandmarkIndex {
                 uniq.push(w);
             }
         }
+        // One reused workspace across the landmark sweep: the frontier and
+        // bitset buffers are allocated once instead of per landmark.
+        let mut ws = BfsWorkspace::new();
         let rows = uniq
             .iter()
             .map(|&w| {
                 if graph.is_weighted() {
                     dijkstra(graph, w)
                 } else {
-                    bfs(graph, w)
+                    let mut dist = vec![0u32; graph.num_nodes()];
+                    bfs_into(graph, w, &mut dist, &mut ws);
+                    dist
                 }
             })
             .collect();
@@ -147,6 +152,7 @@ impl LandmarkIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bfs::bfs;
     use crate::builder::graph_from_edges;
 
     /// Path 0-1-2-3-4-5 plus chord (0,4).

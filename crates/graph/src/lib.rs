@@ -11,9 +11,13 @@
 //!   from which prefix snapshots (e.g. "the graph after 80 % of the edges")
 //!   can be extracted; this models the paper's slice sequence
 //!   `S_1, S_2, …, S_t` of node and edge insertions.
-//! * Single-source shortest paths: [`bfs`](bfs::bfs) for unit weights and
+//! * Single-source shortest paths: [`bfs`](bfs::bfs) for unit weights
+//!   (direction-optimizing top-down/bottom-up hybrid) and
 //!   [`dijkstra`](dijkstra::dijkstra) for weighted graphs, plus reusable
 //!   workspaces so hot loops do not allocate.
+//! * [`msbfs`] — bit-parallel multi-source BFS advancing up to 64 sources
+//!   per graph sweep, the kernel behind the budget oracle's batched
+//!   prefetch.
 //! * [`components`] — connected components, connected-pair counting.
 //! * [`diameter`] — exact (threaded all-pairs BFS) and double-sweep bounds.
 //! * [`betweenness`] — Brandes node and edge betweenness, exact and
@@ -42,6 +46,7 @@ pub mod diameter;
 pub mod dijkstra;
 pub mod graph;
 pub mod landmark_index;
+pub mod msbfs;
 pub mod temporal;
 pub mod unionfind;
 

@@ -12,6 +12,12 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> pipeline_baseline release smoke (--scale=0.1)"
+smoke_out="$(mktemp -t bench_pipeline_smoke.XXXXXX.json)"
+cargo run --release -q -p cp-bench --bin pipeline_baseline -- \
+    --scale=0.1 --out="$smoke_out" > /dev/null
+rm -f "$smoke_out"
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
