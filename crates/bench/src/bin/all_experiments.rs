@@ -105,15 +105,21 @@ fn main() {
                 agg.prefetch_secs += row.stats.prefetch_secs;
                 agg.scan_secs += row.stats.scan_secs;
                 agg.sssp_secs += row.stats.sssp_secs;
+                agg.sssp_t2_secs += row.stats.sssp_t2_secs;
                 agg.sssp_computed += row.stats.sssp_computed;
                 agg.cache_hits += row.stats.cache_hits;
                 agg.cache_misses += row.stats.cache_misses;
+                agg.repaired_rows += row.stats.repaired_rows;
+                agg.repair_frontier_nodes += row.stats.repair_frontier_nodes;
+                agg.recomputed_rows += row.stats.recomputed_rows;
+                agg.cache_bytes = agg.cache_bytes.max(row.stats.cache_bytes);
                 agg.threads = row.stats.threads;
                 agg.kernel = row.stats.kernel;
                 agg.kernel_stats.msbfs_waves += row.stats.kernel_stats.msbfs_waves;
                 agg.kernel_stats.msbfs_rows += row.stats.kernel_stats.msbfs_rows;
                 agg.kernel_stats.bfs_rows += row.stats.kernel_stats.bfs_rows;
                 agg.kernel_stats.dijkstra_rows += row.stats.kernel_stats.dijkstra_rows;
+                agg.kernel_stats.repair_rows += row.stats.kernel_stats.repair_rows;
                 cells.push(pct(row.coverage));
             }
             rows.push(cells);
@@ -125,17 +131,24 @@ fn main() {
             agg.sssp_computed.to_string(),
             agg.kernel_stats.msbfs_waves.to_string(),
             format!(
-                "{}/{}/{}",
+                "{}/{}/{}/{}",
                 agg.kernel_stats.msbfs_rows,
                 agg.kernel_stats.bfs_rows,
-                agg.kernel_stats.dijkstra_rows
+                agg.kernel_stats.dijkstra_rows,
+                agg.kernel_stats.repair_rows
             ),
             agg.cache_hits.to_string(),
             agg.cache_misses.to_string(),
+            format!(
+                "{}/{:.0}",
+                agg.repaired_rows,
+                agg.repair_frontier_nodes as f64 / agg.repaired_rows.max(1) as f64
+            ),
+            format!("{}", agg.cache_bytes / 1024),
             format!("{:.3}", agg.selector_secs),
             format!("{:.3}", agg.prefetch_secs),
             format!("{:.3}", agg.scan_secs),
-            format!("{:.3}", agg.sssp_secs),
+            format!("{:.3}/{:.3}", agg.sssp_secs, agg.sssp_t2_secs),
         ]);
         let header: Vec<String> = std::iter::once("selector".to_string())
             .chain(slack_levels.iter().map(|s| {
@@ -161,13 +174,15 @@ fn main() {
             "kernel",
             "sssp",
             "waves",
-            "ms/bfs/dij rows",
+            "ms/bfs/dij/rep rows",
             "cache hit",
             "cache miss",
+            "repaired/region",
+            "cache KiB",
             "select s",
             "prefetch s",
             "scan s",
-            "sssp s",
+            "sssp/t2 s",
         ],
         &stats_rows,
     );

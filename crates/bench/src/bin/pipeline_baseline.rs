@@ -1,27 +1,44 @@
-//! Machine-readable perf baseline for the parallel pipeline and its BFS
-//! kernels.
+//! Machine-readable perf baseline for the parallel pipeline, its BFS
+//! kernels, and the snapshot-delta row cache.
 //!
-//! Runs the Table 5 pipeline (every selector of the suite on every
-//! dataset at the paper's budget) three times per dataset —
+//! Two measurement phases, written together to `BENCH_pipeline.json` in
+//! the current directory (`--out=PATH` overrides):
 //!
-//! 1. `scalar` kernel, one worker thread (the pre-optimization baseline),
+//! **Phase 1 — kernel ladder** on the paper's evaluation snapshots
+//! (80 % → 100 % of the stream). The Table 5 pipeline (every selector of
+//! the suite at the paper's budget) runs four times per dataset:
+//!
+//! 1. `scalar` kernel, one thread, row cache disabled (the
+//!    pre-optimization baseline),
 //! 2. `auto` kernel (direction-optimizing BFS + multi-source waves), one
-//!    worker thread — isolates the pure kernel speedup,
-//! 3. `auto` kernel at the configured thread count — kernel and thread
-//!    parallelism composed,
+//!    thread, row cache disabled — isolates the pure kernel speedup,
+//! 3. `auto` kernel, one thread, unbounded row cache — the default
+//!    configuration, with snapshot-delta repair of `t2` rows,
+//! 4. `auto` kernel + repair at the configured thread count.
 //!
-//! and writes the wall-clock comparison to `BENCH_pipeline.json` in the
-//! current directory (`--out=PATH` overrides). All runs produce
-//! bit-identical pairs and ledgers (see
-//! `crates/core/tests/parallel_equivalence.rs`); only the timing differs,
-//! which is what this baseline records.
+//! **Phase 2 — incremental regime** on a *tight* snapshot pair
+//! ([`REPAIR_T1`] → 100 %): the re-evaluation scenario the delta cache is
+//! built for, where the edge delta is a few percent of the stream and the
+//! shrinking region is small. The same suite runs with the cache off and
+//! on (auto kernel, one thread); `repair_speedup` compares the two on
+//! `sssp_t2_secs`, the `t2`-row share of the oracle's distance work.
 //!
-//! Two timings are recorded per sweep: `secs` (whole suite, end to end)
-//! and `sssp_secs` (the oracle's distance-row computation only, the path
-//! the kernels own). The per-dataset `kernel_speedup` compares the latter
-//! — the suite total includes IncBet's exact-betweenness grant, which the
-//! paper gives that baseline for free, runs outside the budget oracle,
-//! and is identical under every kernel.
+//! The eval pair's 20 % edge delta moves roughly half of all distances,
+//! so there a per-row repair cannot beat a 64-wide multi-source wave —
+//! phase 1 documents that boundary honestly (its `t2` timings are part of
+//! the sweeps), while phase 2 measures the regime the optimization
+//! targets. Results are bit-identical in every configuration (see
+//! `crates/core/tests/parallel_equivalence.rs` and
+//! `crates/core/tests/conformance.rs`); only the timing differs, which is
+//! what this baseline records.
+//!
+//! Per sweep, three timings: `secs` (whole suite, end to end),
+//! `sssp_secs` (the oracle's distance-row computation, the path the
+//! kernels own), and `sssp_t2_secs` (its `G_t2` share, per-item summed —
+//! the path repair attacks). `kernel_speedup` compares ladder slots 1 and
+//! 2 on `sssp_secs`; the suite total additionally includes IncBet's
+//! exact-betweenness grant, which the paper gives that baseline for free
+//! and which no kernel touches.
 //!
 //! ```text
 //! cargo run --release -p cp-bench --bin pipeline_baseline -- --scale=0.25
@@ -29,37 +46,54 @@
 
 use cp_bench::{scaled_budget, Options};
 use cp_core::exact::TopKSpec;
-use cp_core::oracle::{BfsKernel, SnapshotOracle};
+use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle};
 use cp_core::selectors::SelectorKind;
-use cp_core::topk::run_pipeline;
+use cp_core::topk::{run_pipeline, PipelineStats};
+use cp_gen::datasets::{DatasetKind, DatasetProfile, EVAL_SNAPSHOTS};
+use cp_graph::repair::snapshot_delta;
+use cp_graph::Graph;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Timing of one (dataset, kernel, thread-count) pipeline sweep.
+/// Timing of one (dataset, kernel, threads, cache) pipeline sweep.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct SweepTiming {
     dataset: String,
     kernel: String,
     threads: usize,
+    /// Row-cache budget knob value (`"0"` = delta cache disabled).
+    cache: String,
     /// Best-of-repeats wall clock of the whole selector suite, seconds.
     secs: f64,
     /// Oracle distance-row computation seconds within the best repeat.
     sssp_secs: f64,
+    /// The `G_t2` share of `sssp_secs` (per-item summed) within the best
+    /// repeat — what snapshot-delta repair attacks.
+    sssp_t2_secs: f64,
     /// SSSPs charged across the suite (identical for every configuration).
     sssp_computed: u64,
     /// Multi-source waves run (0 under the scalar kernel).
     msbfs_waves: u64,
     /// Rows produced by multi-source waves.
     msbfs_rows: u64,
+    /// `t2` rows produced by snapshot-delta repair (0 with the cache
+    /// disabled).
+    repaired_rows: u64,
+    /// Nodes settled by repair frontiers — the work done in place of full
+    /// sweeps.
+    repair_frontier_nodes: u64,
+    /// Resident row-cache bytes at the end of the suite's largest run.
+    cache_bytes: usize,
 }
 
-/// Per-dataset kernel comparison at one worker thread.
+/// Per-dataset kernel-ladder comparison at one worker thread (phase 1,
+/// evaluation snapshots).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct DatasetSummary {
     dataset: String,
-    /// Whole suite, scalar kernel, one thread.
+    /// Whole suite, scalar kernel, one thread, cache off.
     scalar_single_secs: f64,
-    /// Whole suite, optimized kernel, one thread.
+    /// Whole suite, optimized kernel, one thread, cache off.
     optimized_single_secs: f64,
     /// Oracle SSSP time within the scalar single-thread run.
     scalar_sssp_secs: f64,
@@ -73,6 +107,28 @@ struct DatasetSummary {
     suite_speedup: f64,
 }
 
+/// Per-dataset repair comparison on the tight snapshot pair (phase 2,
+/// `REPAIR_T1` → 100 %, auto kernel, one thread).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct RepairSummary {
+    dataset: String,
+    /// First-snapshot cut of the tight pair (fraction of the stream).
+    t1_fraction: f64,
+    /// `|E_t2 \ E_t1|` of the tight pair.
+    delta_edges: usize,
+    /// `t2`-row seconds with the delta cache off.
+    repair_off_t2_secs: f64,
+    /// `t2`-row seconds with the delta cache on.
+    repair_on_t2_secs: f64,
+    /// `repair_off_t2_secs / repair_on_t2_secs`: the measured speedup of
+    /// snapshot-delta repair on the `t2`-row path.
+    repair_speedup: f64,
+    /// `t2` rows repaired in the cache-on run.
+    repaired_rows: u64,
+    /// Mean shrinking-region size per repaired row.
+    avg_frontier: f64,
+}
+
 /// The written baseline document.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct Baseline {
@@ -82,23 +138,110 @@ struct Baseline {
     m: u64,
     repeats: u32,
     threads_multi: usize,
+    /// The tight pair's first-snapshot fraction (phase 2).
+    repair_t1_fraction: f64,
     sweeps: Vec<SweepTiming>,
     datasets: Vec<DatasetSummary>,
-    /// Suite totals: scalar kernel, one thread.
+    repair: Vec<RepairSummary>,
+    /// Suite totals: scalar kernel, one thread, cache off (eval pair).
     scalar_single_secs: f64,
-    /// Suite totals: optimized kernel, one thread.
+    /// Suite totals: optimized kernel, one thread, cache off (eval pair).
     optimized_single_secs: f64,
-    /// Suite totals: optimized kernel, `threads_multi` threads.
+    /// Suite totals: optimized kernel + repair, `threads_multi` threads.
     multi_thread_secs: f64,
     /// Single-thread kernel speedup on the oracle SSSP path, scalar vs
-    /// optimized, summed over datasets.
+    /// optimized (both cache-off), summed over datasets.
     kernel_speedup: f64,
+    /// Repair speedup on the `t2`-row path in the incremental regime,
+    /// summed over datasets (phase 2).
+    repair_speedup: f64,
+    /// The best per-dataset `repair_speedup` — the repair win on the
+    /// dataset whose delta structure suits it best.
+    repair_speedup_max: f64,
     /// End-to-end speedup of the optimized parallel configuration over
     /// the scalar single-thread baseline.
     total_speedup: f64,
 }
 
 const REPEATS: u32 = 3;
+
+/// Phase 2's first-snapshot cut: the last 5 % of the stream is the delta,
+/// emulating a re-evaluation shortly after the previous one.
+const REPAIR_T1: f64 = 0.95;
+
+/// Phase 1 config slots (kernel, threads, cache): pre-optimization scalar,
+/// kernels-only, kernels + repair, everything at full threads.
+const SLOT_SCALAR: usize = 0;
+const SLOT_AUTO: usize = 1;
+const SLOT_MULTI: usize = 3;
+
+/// Accumulated pipeline counters of one suite run.
+#[derive(Default)]
+struct SuiteRun {
+    secs: f64,
+    sssp_secs: f64,
+    sssp_t2_secs: f64,
+    sssp_computed: u64,
+    msbfs_waves: u64,
+    msbfs_rows: u64,
+    repaired_rows: u64,
+    repair_frontier_nodes: u64,
+    cache_bytes: usize,
+}
+
+impl SuiteRun {
+    fn absorb(&mut self, stats: &PipelineStats) {
+        self.sssp_secs += stats.sssp_secs;
+        self.sssp_t2_secs += stats.sssp_t2_secs;
+        self.sssp_computed += stats.sssp_computed;
+        self.msbfs_waves += stats.kernel_stats.msbfs_waves;
+        self.msbfs_rows += stats.kernel_stats.msbfs_rows;
+        self.repaired_rows += stats.repaired_rows;
+        self.repair_frontier_nodes += stats.repair_frontier_nodes;
+        self.cache_bytes = self.cache_bytes.max(stats.cache_bytes);
+    }
+}
+
+/// Runs the full selector suite once and returns its counters.
+#[allow(clippy::too_many_arguments)]
+fn run_suite(
+    g1: &Graph,
+    g2: &Graph,
+    suite: &[SelectorKind],
+    spec: &TopKSpec,
+    m: u64,
+    seed: u64,
+    threads: usize,
+    kernel: BfsKernel,
+    cache: RowCacheBudget,
+) -> SuiteRun {
+    let started = Instant::now();
+    let mut run = SuiteRun::default();
+    for &kind in suite {
+        let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m)
+            .with_threads(threads)
+            .with_kernel(kernel)
+            .with_row_cache(cache);
+        let mut sel = kind.build(seed);
+        let res = run_pipeline(&mut oracle, sel.as_mut(), spec);
+        run.absorb(&res.stats);
+    }
+    run.secs = started.elapsed().as_secs_f64();
+    run
+}
+
+/// Best-of-repeats: keeps the run whose metric (`suite` wall clock or
+/// `t2` seconds) is smallest.
+fn best_of<F: FnMut() -> SuiteRun, M: Fn(&SuiteRun) -> f64>(mut run: F, metric: M) -> SuiteRun {
+    let mut best: Option<SuiteRun> = None;
+    for _ in 0..REPEATS {
+        let r = run();
+        if best.as_ref().map_or(true, |b| metric(&r) < metric(b)) {
+            best = Some(r);
+        }
+    }
+    best.expect("REPEATS >= 1")
+}
 
 fn main() {
     let opts = Options::from_env();
@@ -109,86 +252,150 @@ fn main() {
     let out = opts.out.as_deref().unwrap_or("BENCH_pipeline.json");
 
     eprintln!(
-        "pipeline_baseline: scale {}, seed {}, m {m}, scalar@1 vs auto@1 vs auto@{threads_multi}",
+        "pipeline_baseline: scale {}, seed {}, m {m}; phase 1 (eval pair): scalar@1 vs auto@1 \
+         vs auto@1+repair vs auto@{threads_multi}+repair; phase 2 (t1 = {REPAIR_T1}): repair \
+         off vs on",
         opts.scale, opts.seed
     );
 
     let configs = [
-        (BfsKernel::Scalar, 1usize),
-        (BfsKernel::Auto, 1),
-        (BfsKernel::Auto, threads_multi),
+        (BfsKernel::Scalar, 1usize, RowCacheBudget::Bytes(0)),
+        (BfsKernel::Auto, 1, RowCacheBudget::Bytes(0)),
+        (BfsKernel::Auto, 1, RowCacheBudget::Unbounded),
+        (BfsKernel::Auto, threads_multi, RowCacheBudget::Unbounded),
     ];
-    let all = opts.all_snapshots();
     let mut sweeps: Vec<SweepTiming> = Vec::new();
     let mut datasets: Vec<DatasetSummary> = Vec::new();
-    let mut totals = [0.0f64; 3]; // [scalar@1, auto@1, auto@multi]
-    let mut sssp_totals = [0.0f64; 2]; // [scalar@1, auto@1]
+    let mut repair: Vec<RepairSummary> = Vec::new();
+    let mut totals = [0.0f64; 4];
+    let mut sssp_totals = [0.0f64; 2]; // [scalar@1, auto@1] cache-off
+    let mut t2_totals = [0.0f64; 2]; // phase 2: [cache-off, cache-on]
+    let mut repair_speedup_max = 0.0f64;
 
-    for snaps in &all {
-        let mut per_config = [0.0f64; 3];
-        let mut per_config_sssp = [0.0f64; 3];
-        for (slot, &(kernel, threads)) in configs.iter().enumerate() {
-            let mut best = f64::INFINITY;
-            let mut best_sssp = 0.0f64;
-            let mut sssp = 0u64;
-            let mut waves = 0u64;
-            let mut wave_rows = 0u64;
-            for _ in 0..REPEATS {
-                let started = Instant::now();
-                let mut spent = 0u64;
-                let mut w = 0u64;
-                let mut wr = 0u64;
-                let mut sssp_s = 0.0f64;
-                for &kind in &suite {
-                    let mut oracle = SnapshotOracle::with_budget(&snaps.g1, &snaps.g2, 2 * m)
-                        .with_threads(threads)
-                        .with_kernel(kernel);
-                    let mut sel = kind.build(opts.seed);
-                    let res = run_pipeline(&mut oracle, sel.as_mut(), &spec);
-                    spent += res.stats.sssp_computed;
-                    w += res.stats.kernel_stats.msbfs_waves;
-                    wr += res.stats.kernel_stats.msbfs_rows;
-                    sssp_s += res.stats.sssp_secs;
-                }
-                let elapsed = started.elapsed().as_secs_f64();
-                if elapsed < best {
-                    best = elapsed;
-                    best_sssp = sssp_s;
-                }
-                sssp = spent;
-                waves = w;
-                wave_rows = wr;
-            }
-            eprintln!(
-                "  {} [{}] @ {threads} thread(s): {best:.3}s suite, {best_sssp:.3}s sssp \
-                 ({sssp} SSSPs, {waves} waves)",
-                snaps.name,
-                kernel.name()
+    for kind in DatasetKind::ALL {
+        let t = DatasetProfile::scaled(kind, opts.scale).generate(opts.seed);
+        let name = kind.name();
+
+        // ---- Phase 1: kernel ladder on the evaluation snapshots ----
+        let (g1, g2) = t.snapshot_pair(EVAL_SNAPSHOTS.0, EVAL_SNAPSHOTS.1);
+        let mut per_config = [0.0f64; 4];
+        let mut per_config_sssp = [0.0f64; 4];
+        for (slot, &(kernel, threads, cache)) in configs.iter().enumerate() {
+            let best = best_of(
+                || {
+                    run_suite(
+                        &g1, &g2, &suite, &spec, m, opts.seed, threads, kernel, cache,
+                    )
+                },
+                |r| r.secs,
             );
-            totals[slot] += best;
-            per_config[slot] = best;
-            per_config_sssp[slot] = best_sssp;
+            eprintln!(
+                "  {name} [{} cache={}] @ {threads} thread(s): {:.3}s suite, {:.3}s sssp \
+                 ({:.4}s t2, {} SSSPs, {} waves, {} repaired)",
+                kernel.name(),
+                cache.describe(),
+                best.secs,
+                best.sssp_secs,
+                best.sssp_t2_secs,
+                best.sssp_computed,
+                best.msbfs_waves,
+                best.repaired_rows,
+            );
+            totals[slot] += best.secs;
+            per_config[slot] = best.secs;
+            per_config_sssp[slot] = best.sssp_secs;
             sweeps.push(SweepTiming {
-                dataset: snaps.name.clone(),
+                dataset: name.to_string(),
                 kernel: kernel.name().to_string(),
                 threads,
-                secs: best,
-                sssp_secs: best_sssp,
-                sssp_computed: sssp,
-                msbfs_waves: waves,
-                msbfs_rows: wave_rows,
+                cache: cache.describe(),
+                secs: best.secs,
+                sssp_secs: best.sssp_secs,
+                sssp_t2_secs: best.sssp_t2_secs,
+                sssp_computed: best.sssp_computed,
+                msbfs_waves: best.msbfs_waves,
+                msbfs_rows: best.msbfs_rows,
+                repaired_rows: best.repaired_rows,
+                repair_frontier_nodes: best.repair_frontier_nodes,
+                cache_bytes: best.cache_bytes,
             });
         }
-        sssp_totals[0] += per_config_sssp[0];
-        sssp_totals[1] += per_config_sssp[1];
+        sssp_totals[0] += per_config_sssp[SLOT_SCALAR];
+        sssp_totals[1] += per_config_sssp[SLOT_AUTO];
         datasets.push(DatasetSummary {
-            dataset: snaps.name.clone(),
-            scalar_single_secs: per_config[0],
-            optimized_single_secs: per_config[1],
-            scalar_sssp_secs: per_config_sssp[0],
-            optimized_sssp_secs: per_config_sssp[1],
-            kernel_speedup: per_config_sssp[0] / per_config_sssp[1].max(f64::MIN_POSITIVE),
-            suite_speedup: per_config[0] / per_config[1].max(f64::MIN_POSITIVE),
+            dataset: name.to_string(),
+            scalar_single_secs: per_config[SLOT_SCALAR],
+            optimized_single_secs: per_config[SLOT_AUTO],
+            scalar_sssp_secs: per_config_sssp[SLOT_SCALAR],
+            optimized_sssp_secs: per_config_sssp[SLOT_AUTO],
+            kernel_speedup: per_config_sssp[SLOT_SCALAR]
+                / per_config_sssp[SLOT_AUTO].max(f64::MIN_POSITIVE),
+            suite_speedup: per_config[SLOT_SCALAR] / per_config[SLOT_AUTO].max(f64::MIN_POSITIVE),
+        });
+
+        // ---- Phase 2: repair on the tight (incremental) pair ----
+        let (r1, r2) = t.snapshot_pair(REPAIR_T1, 1.0);
+        let delta_edges = snapshot_delta(&r1, &r2).inserted.len();
+        let mut phase2 = [SuiteRun::default(), SuiteRun::default()];
+        for (i, cache) in [RowCacheBudget::Bytes(0), RowCacheBudget::Unbounded]
+            .into_iter()
+            .enumerate()
+        {
+            let best = best_of(
+                || {
+                    run_suite(
+                        &r1,
+                        &r2,
+                        &suite,
+                        &spec,
+                        m,
+                        opts.seed,
+                        1,
+                        BfsKernel::Auto,
+                        cache,
+                    )
+                },
+                |r| r.sssp_t2_secs,
+            );
+            sweeps.push(SweepTiming {
+                dataset: format!("{name} (t1={REPAIR_T1})"),
+                kernel: BfsKernel::Auto.name().to_string(),
+                threads: 1,
+                cache: cache.describe(),
+                secs: best.secs,
+                sssp_secs: best.sssp_secs,
+                sssp_t2_secs: best.sssp_t2_secs,
+                sssp_computed: best.sssp_computed,
+                msbfs_waves: best.msbfs_waves,
+                msbfs_rows: best.msbfs_rows,
+                repaired_rows: best.repaired_rows,
+                repair_frontier_nodes: best.repair_frontier_nodes,
+                cache_bytes: best.cache_bytes,
+            });
+            phase2[i] = best;
+        }
+        let [off, on] = phase2;
+        let speedup = off.sssp_t2_secs / on.sssp_t2_secs.max(f64::MIN_POSITIVE);
+        eprintln!(
+            "  {name} (t1={REPAIR_T1}, delta {delta_edges} edges): t2 path {:.4}s off vs \
+             {:.4}s on — {speedup:.2}x repair ({} rows, avg region {:.0})",
+            off.sssp_t2_secs,
+            on.sssp_t2_secs,
+            on.repaired_rows,
+            on.repair_frontier_nodes as f64 / on.repaired_rows.max(1) as f64,
+        );
+        t2_totals[0] += off.sssp_t2_secs;
+        t2_totals[1] += on.sssp_t2_secs;
+        repair_speedup_max = repair_speedup_max.max(speedup);
+        repair.push(RepairSummary {
+            dataset: name.to_string(),
+            t1_fraction: REPAIR_T1,
+            delta_edges,
+            repair_off_t2_secs: off.sssp_t2_secs,
+            repair_on_t2_secs: on.sssp_t2_secs,
+            repair_speedup: speedup,
+            repaired_rows: on.repaired_rows,
+            avg_frontier: on.repair_frontier_nodes as f64 / on.repaired_rows.max(1) as f64,
         });
     }
 
@@ -199,23 +406,33 @@ fn main() {
         m,
         repeats: REPEATS,
         threads_multi,
+        repair_t1_fraction: REPAIR_T1,
         sweeps,
         datasets,
-        scalar_single_secs: totals[0],
-        optimized_single_secs: totals[1],
-        multi_thread_secs: totals[2],
+        repair,
+        scalar_single_secs: totals[SLOT_SCALAR],
+        optimized_single_secs: totals[SLOT_AUTO],
+        multi_thread_secs: totals[SLOT_MULTI],
         kernel_speedup: sssp_totals[0] / sssp_totals[1].max(f64::MIN_POSITIVE),
-        total_speedup: totals[0] / totals[2].max(f64::MIN_POSITIVE),
+        repair_speedup: t2_totals[0] / t2_totals[1].max(f64::MIN_POSITIVE),
+        repair_speedup_max,
+        total_speedup: totals[SLOT_SCALAR] / totals[SLOT_MULTI].max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(out, &rendered).unwrap_or_else(|e| panic!("write {out}: {e}"));
     println!("{rendered}");
     eprintln!(
-        "wrote {out}: sssp path {:.3}s scalar vs {:.3}s optimized single-thread ({:.2}x kernel); \
-         suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads ({:.2}x total)",
+        "wrote {out}: sssp path {:.3}s scalar vs {:.3}s optimized single-thread ({:.2}x \
+         kernel); incremental t2 path {:.4}s repair-off vs {:.4}s repair-on ({:.2}x repair, \
+         best dataset {:.2}x); suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads \
+         ({:.2}x total)",
         sssp_totals[0],
         sssp_totals[1],
         baseline.kernel_speedup,
+        t2_totals[0],
+        t2_totals[1],
+        baseline.repair_speedup,
+        baseline.repair_speedup_max,
         baseline.scalar_single_secs,
         baseline.optimized_single_secs,
         baseline.multi_thread_secs,

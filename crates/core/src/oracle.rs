@@ -7,10 +7,34 @@
 //! [`Phase`], cached rows are free (that is precisely how the dispersion
 //! selectors reuse their `G_t1` rows), and a hard cap turns overdraft into
 //! an error instead of a silently broken experiment.
+//!
+//! # The snapshot-delta row cache
+//!
+//! Two orthogonal facts about a row are tracked separately:
+//!
+//! * **Paid** — the row has been charged to the ledger once. Admission,
+//!   [`Self::cost_of`], [`Self::has_both`] and [`Self::fully_cached_nodes`]
+//!   read *only* this, so the ledger and the candidate set are bit-identical
+//!   at any cache size, thread count, or kernel.
+//! * **Resident** — the row's bytes are currently held. Residency is
+//!   bounded by a [`RowCacheBudget`] (LRU eviction, `CP_ROW_CACHE`); a paid
+//!   row that was evicted is recomputed **free of charge** on its next
+//!   read. Residency only moves wall clock and memory, never results.
+//!
+//! Residency is what powers **snapshot-delta repair**: the evolution model
+//! grows the graph (`G_t1 ⊆ G_t2`), so when the `t1` row of a source is
+//! resident, its `t2` row is derived by [`cp_graph::repair`] — seed a
+//! frontier from the inserted edges and relax only the shrinking region —
+//! instead of a full sweep. Repaired rows bypass the multi-source BFS
+//! waves but still charge one SSSP each: the paper's cost model counts
+//! rows, not how cleverly they were produced.
 
 use cp_graph::bfs::{bfs_into, bfs_scalar_into, BfsWorkspace};
 use cp_graph::dijkstra::dijkstra_into;
 use cp_graph::msbfs::{msbfs_into, MsBfsWorkspace, WAVE_WIDTH};
+use cp_graph::repair::{
+    bfs_repair_into, dijkstra_repair_into, snapshot_delta, RepairWorkspace, SnapshotDelta,
+};
 use cp_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -19,6 +43,11 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// Number of pending rows below which a batched prefetch computes inline
 /// instead of spawning workers.
 const PARALLEL_ROW_CUTOFF: usize = 8;
+
+/// Number of most-recently-touched rows the LRU never evicts, so the
+/// borrows returned by [`SnapshotOracle::rows`] (one row per snapshot)
+/// stay resident for the duration of the call that produced them.
+const ROW_PIN_COUNT: usize = 2;
 
 /// Worker threads for batched row computation: `CP_THREADS` when set to a
 /// positive integer, the capped hardware parallelism otherwise.
@@ -70,11 +99,84 @@ impl BfsKernel {
     }
 }
 
+/// Byte budget of the oracle's resident-row cache (`CP_ROW_CACHE`).
+///
+/// The budget bounds *residency only*: which rows' bytes are held. Paid
+/// status — and with it admission, the ledger, and the candidate set — is
+/// tracked separately, so every budget produces bit-identical results;
+/// a smaller budget just trades recomputation for memory and disables
+/// fewer/more snapshot-delta repairs (a repair needs its `t1` donor row
+/// resident).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowCacheBudget {
+    /// Keep every paid row resident (the default): repair always finds its
+    /// donor and nothing is ever recomputed.
+    #[default]
+    Unbounded,
+    /// Hold at most this many row-payload bytes (4 bytes per node per
+    /// row), evicting least-recently-used rows beyond the
+    /// [`ROW_PIN_COUNT`] most recent. `Bytes(0)` additionally disables
+    /// snapshot-delta repair entirely — the pre-cache compute path, used
+    /// by A/B runs and the conformance suite.
+    Bytes(usize),
+}
+
+impl RowCacheBudget {
+    /// Reads `CP_ROW_CACHE`: unset or `unbounded` → [`Self::Unbounded`];
+    /// a byte count with optional `k`/`m`/`g` (or `kb`/`mb`/`gb`) suffix →
+    /// [`Self::Bytes`]; `0` disables the delta cache. Unparseable values
+    /// fall back to the default.
+    pub fn from_env() -> Self {
+        match std::env::var("CP_ROW_CACHE") {
+            Ok(s) => Self::parse(&s).unwrap_or_default(),
+            Err(_) => RowCacheBudget::Unbounded,
+        }
+    }
+
+    /// Parses a knob spelling (see [`Self::from_env`]).
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim().to_ascii_lowercase();
+        if s.is_empty() || s == "unbounded" {
+            return Some(RowCacheBudget::Unbounded);
+        }
+        let (digits, mult) = ["gb", "g", "mb", "m", "kb", "k"]
+            .iter()
+            .find_map(|suf| {
+                s.strip_suffix(suf).map(|d| {
+                    let mult = match suf.as_bytes()[0] {
+                        b'g' => 1usize << 30,
+                        b'm' => 1 << 20,
+                        _ => 1 << 10,
+                    };
+                    (d.trim_end().to_string(), mult)
+                })
+            })
+            .unwrap_or((s, 1));
+        let n: usize = digits.parse().ok()?;
+        Some(RowCacheBudget::Bytes(n.checked_mul(mult)?))
+    }
+
+    /// The knob spelling of this budget (`"unbounded"` or a byte count).
+    pub fn describe(self) -> String {
+        match self {
+            RowCacheBudget::Unbounded => "unbounded".to_string(),
+            RowCacheBudget::Bytes(b) => b.to_string(),
+        }
+    }
+
+    /// Whether snapshot-delta repair may run under this budget.
+    fn repair_enabled(self) -> bool {
+        self != RowCacheBudget::Bytes(0)
+    }
+}
+
 /// Per-kernel work counters: how the charged SSSPs were actually computed.
 ///
-/// `msbfs_rows + bfs_rows + dijkstra_rows` equals the number of fresh rows
-/// (= ledger total); `msbfs_waves` counts graph sweeps, each covering up
-/// to 64 of the `msbfs_rows`.
+/// `msbfs_rows + bfs_rows + dijkstra_rows + repair_rows` equals the number
+/// of fresh *charged* rows (= ledger total); free recomputations of
+/// evicted rows are counted by [`SnapshotOracle::recomputed_rows`]
+/// instead. `msbfs_waves` counts graph sweeps, each covering up to 64 of
+/// the `msbfs_rows`.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct KernelStats {
     /// Multi-source waves run (one graph sweep each).
@@ -85,6 +187,9 @@ pub struct KernelStats {
     pub bfs_rows: u64,
     /// Rows produced by Dijkstra (weighted snapshots).
     pub dijkstra_rows: u64,
+    /// `t2` rows produced by snapshot-delta repair from a resident `t1`
+    /// donor row (BFS-repair or Dijkstra-repair by weightedness).
+    pub repair_rows: u64,
 }
 
 /// Which accounting bucket an SSSP computation lands in (paper Table 1).
@@ -142,7 +247,8 @@ pub enum Snapshot {
 pub struct PrefetchReport {
     /// Fresh rows admitted and computed, each charged one SSSP.
     pub computed: usize,
-    /// Requests already satisfied by the cache (free).
+    /// Requests already paid for (free — served from residency or, if
+    /// evicted, recomputed without charge on their next read).
     pub cached: usize,
     /// Requests the remaining budget could not cover.
     pub skipped: usize,
@@ -151,13 +257,158 @@ pub struct PrefetchReport {
 /// Outcome of a node-level (pair-atomic) batched prefetch.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NodePrefetchReport {
-    /// Requested nodes that ended with **both** rows cached, in request
+    /// Requested nodes that ended with **both** rows paid, in request
     /// order (duplicates preserved). Exactly the nodes a sequential
     /// `remaining() < cost_of(u) → skip, else rows(u)` walk would have
     /// served.
     pub usable: Vec<NodeId>,
     /// Per-request accounting.
     pub rows: PrefetchReport,
+}
+
+/// One resident row with its LRU recency stamp.
+struct CacheEntry {
+    row: Vec<u32>,
+    tick: u64,
+}
+
+/// The paid/resident row store behind the oracle (see the module docs for
+/// the paid-vs-resident split). All mutation happens on the oracle's
+/// single-threaded control path, so recency stamps — and therefore
+/// evictions — are deterministic at any worker-thread count.
+struct RowCache {
+    budget: RowCacheBudget,
+    resident: HashMap<u64, CacheEntry>,
+    paid1: HashSet<u32>,
+    paid2: HashSet<u32>,
+    bytes: usize,
+    tick: u64,
+    evictions: u64,
+}
+
+fn cache_key(which: Snapshot, u: NodeId) -> u64 {
+    let snap = match which {
+        Snapshot::First => 0u64,
+        Snapshot::Second => 1u64 << 32,
+    };
+    snap | u64::from(u.0)
+}
+
+impl RowCache {
+    fn new(budget: RowCacheBudget) -> Self {
+        RowCache {
+            budget,
+            resident: HashMap::new(),
+            paid1: HashSet::new(),
+            paid2: HashSet::new(),
+            bytes: 0,
+            tick: 0,
+            evictions: 0,
+        }
+    }
+
+    fn is_paid(&self, which: Snapshot, u: NodeId) -> bool {
+        match which {
+            Snapshot::First => self.paid1.contains(&u.0),
+            Snapshot::Second => self.paid2.contains(&u.0),
+        }
+    }
+
+    fn mark_paid(&mut self, which: Snapshot, u: NodeId) {
+        match which {
+            Snapshot::First => self.paid1.insert(u.0),
+            Snapshot::Second => self.paid2.insert(u.0),
+        };
+    }
+
+    fn get(&self, which: Snapshot, u: NodeId) -> Option<&[u32]> {
+        self.resident
+            .get(&cache_key(which, u))
+            .map(|e| e.row.as_slice())
+    }
+
+    /// Bumps the recency of a resident row; `false` if it was evicted.
+    fn touch(&mut self, which: Snapshot, u: NodeId) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.resident.get_mut(&cache_key(which, u)) {
+            Some(e) => {
+                e.tick = tick;
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, which: Snapshot, u: NodeId, row: Vec<u32>) {
+        self.tick += 1;
+        let bytes = row.len() * std::mem::size_of::<u32>();
+        if let Some(old) = self.resident.insert(
+            cache_key(which, u),
+            CacheEntry {
+                row,
+                tick: self.tick,
+            },
+        ) {
+            self.bytes -= old.row.len() * std::mem::size_of::<u32>();
+        }
+        self.bytes += bytes;
+        self.enforce();
+    }
+
+    fn remove(&mut self, which: Snapshot, u: NodeId) {
+        if let Some(e) = self.resident.remove(&cache_key(which, u)) {
+            self.bytes -= e.row.len() * std::mem::size_of::<u32>();
+        }
+    }
+
+    fn clear_resident(&mut self) {
+        self.resident.clear();
+        self.bytes = 0;
+    }
+
+    /// Evicts least-recently-used rows until the byte budget holds, always
+    /// keeping the [`ROW_PIN_COUNT`] most recent (so borrows handed out by
+    /// the current call remain valid even under `Bytes(0)`).
+    fn enforce(&mut self) {
+        let cap = match self.budget {
+            RowCacheBudget::Unbounded => return,
+            RowCacheBudget::Bytes(b) => b,
+        };
+        while self.bytes > cap && self.resident.len() > ROW_PIN_COUNT {
+            let victim = self
+                .resident
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(&k, _)| k)
+                .expect("non-empty cache");
+            let e = self.resident.remove(&victim).expect("victim resident");
+            self.bytes -= e.row.len() * std::mem::size_of::<u32>();
+            self.evictions += 1;
+        }
+    }
+
+    fn repair_enabled(&self) -> bool {
+        self.budget.repair_enabled()
+    }
+}
+
+/// Thread-private scratch for [`SnapshotOracle::read_rows`]: buffers a
+/// recomputed row per snapshot plus a BFS workspace, so shared-`&self`
+/// readers (the Δ scan workers) can resolve evicted rows without touching
+/// the oracle.
+#[derive(Default)]
+pub struct RowScratch {
+    d1: Vec<u32>,
+    d2: Vec<u32>,
+    ws: BfsWorkspace,
+}
+
+impl RowScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// A pair of snapshots behind a counting, capping, caching SSSP interface.
@@ -186,16 +437,23 @@ pub struct SnapshotOracle<'a> {
     limit: Option<u64>,
     phase: Phase,
     ledger: BudgetLedger,
-    rows1: HashMap<u32, Vec<u32>>,
-    rows2: HashMap<u32, Vec<u32>>,
+    cache: RowCache,
+    /// Lazily computed edge delta; `Some` once any `t2` row was requested
+    /// while repair was enabled.
+    delta: Option<SnapshotDelta>,
     ws: BfsWorkspace,
     msws: MsBfsWorkspace,
+    rws: RepairWorkspace,
     threads: usize,
     kernel: BfsKernel,
     kstats: KernelStats,
     sssp_secs: f64,
+    sssp_t2_secs: f64,
     cache_hits: u64,
     cache_misses: u64,
+    repaired_rows: u64,
+    repair_frontier: u64,
+    recomputed_rows: u64,
 }
 
 impl<'a> SnapshotOracle<'a> {
@@ -223,16 +481,21 @@ impl<'a> SnapshotOracle<'a> {
             limit,
             phase: Phase::Generation,
             ledger: BudgetLedger::default(),
-            rows1: HashMap::new(),
-            rows2: HashMap::new(),
+            cache: RowCache::new(RowCacheBudget::from_env()),
+            delta: None,
             ws: BfsWorkspace::new(),
             msws: MsBfsWorkspace::new(),
+            rws: RepairWorkspace::new(),
             threads: threads_from_env(),
             kernel: BfsKernel::from_env(),
             kstats: KernelStats::default(),
             sssp_secs: 0.0,
+            sssp_t2_secs: 0.0,
             cache_hits: 0,
             cache_misses: 0,
+            repaired_rows: 0,
+            repair_frontier: 0,
+            recomputed_rows: 0,
         }
     }
 
@@ -270,9 +533,56 @@ impl<'a> SnapshotOracle<'a> {
         self.kernel
     }
 
+    /// Sets the resident-row byte budget (builder style). Cache size never
+    /// changes results — only wall clock and memory (see [`RowCacheBudget`]).
+    pub fn with_row_cache(mut self, budget: RowCacheBudget) -> Self {
+        self.set_row_cache(budget);
+        self
+    }
+
+    /// Sets the resident-row byte budget, evicting immediately if the new
+    /// budget is smaller than the current residency.
+    pub fn set_row_cache(&mut self, budget: RowCacheBudget) {
+        self.cache.budget = budget;
+        self.cache.enforce();
+    }
+
+    /// The configured resident-row budget.
+    pub fn row_cache(&self) -> RowCacheBudget {
+        self.cache.budget
+    }
+
+    /// Bytes of row payload currently resident.
+    pub fn cache_bytes(&self) -> usize {
+        self.cache.bytes
+    }
+
+    /// Rows evicted by the LRU so far.
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions
+    }
+
     /// Per-kernel work counters accumulated so far.
     pub fn kernel_stats(&self) -> KernelStats {
         self.kstats
+    }
+
+    /// `t2` rows produced by snapshot-delta repair (charged or free).
+    pub fn repaired_rows(&self) -> u64 {
+        self.repaired_rows
+    }
+
+    /// Total nodes settled by repair frontiers — the work actually done in
+    /// place of full sweeps; divide by [`Self::repaired_rows`] for the mean
+    /// shrinking-region size.
+    pub fn repair_frontier_nodes(&self) -> u64 {
+        self.repair_frontier
+    }
+
+    /// Paid rows recomputed free of charge after LRU eviction (always 0
+    /// under [`RowCacheBudget::Unbounded`]).
+    pub fn recomputed_rows(&self) -> u64 {
+        self.recomputed_rows
     }
 
     /// Wall-clock seconds spent computing distance rows (single requests
@@ -284,7 +594,16 @@ impl<'a> SnapshotOracle<'a> {
         self.sssp_secs
     }
 
-    /// `(hits, misses)`: row requests served from cache vs. computed.
+    /// Seconds spent producing `G_t2` rows specifically, summed per work
+    /// item across workers (so it is comparable across thread counts).
+    /// This is the time snapshot-delta repair attacks; `pipeline_baseline`
+    /// reports `repair off / repair on` of this number as the repair
+    /// speedup.
+    pub fn sssp_t2_secs(&self) -> f64 {
+        self.sssp_t2_secs
+    }
+
+    /// `(hits, misses)`: row requests served without charge vs. charged.
     pub fn cache_stats(&self) -> (u64, u64) {
         (self.cache_hits, self.cache_misses)
     }
@@ -328,35 +647,44 @@ impl<'a> SnapshotOracle<'a> {
     }
 
     /// How many fresh SSSPs it would cost to have both rows of `u`
-    /// available (0, 1 or 2 depending on what is cached).
+    /// available (0, 1 or 2 depending on what is already paid). Paid rows
+    /// cost nothing even if their bytes were evicted.
     pub fn cost_of(&self, u: NodeId) -> u64 {
-        let mut c = 0;
-        if !self.rows1.contains_key(&u.0) {
-            c += 1;
-        }
-        if !self.rows2.contains_key(&u.0) {
-            c += 1;
-        }
-        c
+        u64::from(!self.cache.is_paid(Snapshot::First, u))
+            + u64::from(!self.cache.is_paid(Snapshot::Second, u))
     }
 
-    /// Whether both rows of `u` are already cached (i.e. `u` is already a
+    /// Whether both rows of `u` are already paid (i.e. `u` is already a
     /// fully paid candidate).
     pub fn has_both(&self, u: NodeId) -> bool {
-        self.rows1.contains_key(&u.0) && self.rows2.contains_key(&u.0)
+        self.cache.is_paid(Snapshot::First, u) && self.cache.is_paid(Snapshot::Second, u)
     }
 
-    /// Nodes with both rows cached, ascending. These are exactly the nodes
-    /// whose pairs the top-k phase can evaluate.
+    /// Nodes with both rows paid, ascending. These are exactly the nodes
+    /// whose pairs the top-k phase can evaluate — independent of which row
+    /// bytes happen to be resident.
     pub fn fully_cached_nodes(&self) -> Vec<NodeId> {
         let mut out: Vec<NodeId> = self
-            .rows1
-            .keys()
-            .filter(|k| self.rows2.contains_key(k))
+            .cache
+            .paid1
+            .iter()
+            .filter(|k| self.cache.paid2.contains(k))
             .map(|&k| NodeId(k))
             .collect();
         out.sort_unstable();
         out
+    }
+
+    /// Drops the resident bytes of one row. Paid status and ledger are
+    /// untouched: a later read recomputes the row free of charge.
+    pub fn invalidate_row(&mut self, which: Snapshot, u: NodeId) {
+        self.cache.remove(which, u);
+    }
+
+    /// Drops every resident row (memory pressure relief); paid statuses
+    /// and the ledger survive, so results are unaffected.
+    pub fn invalidate_resident(&mut self) {
+        self.cache.clear_resident();
     }
 
     fn charge(&mut self) -> Result<(), BudgetError> {
@@ -372,94 +700,162 @@ impl<'a> SnapshotOracle<'a> {
         Ok(())
     }
 
-    /// The distance row of `u` in the chosen snapshot, computing (and
-    /// charging) it on first use.
-    pub fn row(&mut self, which: Snapshot, u: NodeId) -> Result<&[u32], BudgetError> {
-        let present = match which {
-            Snapshot::First => self.rows1.contains_key(&u.0),
-            Snapshot::Second => self.rows2.contains_key(&u.0),
-        };
-        if !present {
-            self.charge()?;
-            self.cache_misses += 1;
-            let graph = match which {
-                Snapshot::First => self.g1,
-                Snapshot::Second => self.g2,
-            };
-            let started = std::time::Instant::now();
-            let mut dist = Vec::new();
-            if graph.is_weighted() {
-                dijkstra_into(graph, u, &mut dist);
-                self.kstats.dijkstra_rows += 1;
-            } else {
-                match self.kernel {
-                    BfsKernel::Scalar => bfs_scalar_into(graph, u, &mut dist, &mut self.ws),
-                    BfsKernel::Auto => bfs_into(graph, u, &mut dist, &mut self.ws),
-                }
-                self.kstats.bfs_rows += 1;
-            }
-            self.sssp_secs += started.elapsed().as_secs_f64();
-            match which {
-                Snapshot::First => self.rows1.insert(u.0, dist),
-                Snapshot::Second => self.rows2.insert(u.0, dist),
-            };
-        } else {
-            self.cache_hits += 1;
+    /// Ensures the snapshot delta is computed; `true` iff repair may run
+    /// (cache budget allows it and the pair is growth-only).
+    fn repair_ready(&mut self) -> bool {
+        if !self.cache.repair_enabled() {
+            return false;
         }
-        let rows = match which {
-            Snapshot::First => &self.rows1,
-            Snapshot::Second => &self.rows2,
-        };
-        Ok(rows.get(&u.0).expect("just inserted").as_slice())
+        if self.delta.is_none() {
+            self.delta = Some(snapshot_delta(self.g1, self.g2));
+        }
+        self.delta.as_ref().expect("just computed").growth_only
     }
 
-    /// Both rows of `u` at once (for Δ computation).
+    /// Computes one row with the configured kernel, repairing `t2` rows
+    /// from a resident `t1` donor when possible. `charged` routes the
+    /// per-kernel accounting (free recomputations stay out of
+    /// [`KernelStats`] so its row sum keeps matching the ledger).
+    fn compute_one(&mut self, which: Snapshot, u: NodeId, charged: bool) -> Vec<u32> {
+        let started = std::time::Instant::now();
+        let graph = self.graph_of(which);
+        let mut dist = Vec::new();
+        let mut settled = None;
+        if which == Snapshot::Second && self.repair_ready() {
+            let delta = self.delta.as_ref().expect("repair_ready computed it");
+            if let Some(t1) = self.cache.get(Snapshot::First, u) {
+                settled = Some(if graph.is_weighted() {
+                    dijkstra_repair_into(graph, t1, &delta.inserted, &mut dist, &mut self.rws)
+                } else {
+                    bfs_repair_into(graph, t1, &delta.inserted, &mut dist, &mut self.rws)
+                });
+            }
+        }
+        match settled {
+            Some(settled) => {
+                self.repaired_rows += 1;
+                self.repair_frontier += settled as u64;
+                if charged {
+                    self.kstats.repair_rows += 1;
+                }
+            }
+            None => {
+                if graph.is_weighted() {
+                    dijkstra_into(graph, u, &mut dist);
+                    if charged {
+                        self.kstats.dijkstra_rows += 1;
+                    }
+                } else {
+                    match self.kernel {
+                        BfsKernel::Scalar => bfs_scalar_into(graph, u, &mut dist, &mut self.ws),
+                        BfsKernel::Auto => bfs_into(graph, u, &mut dist, &mut self.ws),
+                    }
+                    if charged {
+                        self.kstats.bfs_rows += 1;
+                    }
+                }
+            }
+        }
+        let secs = started.elapsed().as_secs_f64();
+        self.sssp_secs += secs;
+        if which == Snapshot::Second {
+            self.sssp_t2_secs += secs;
+        }
+        dist
+    }
+
+    /// The distance row of `u` in the chosen snapshot, computing (and
+    /// charging) it on first use. Paid rows are free forever — if their
+    /// bytes were evicted they are recomputed without touching the ledger.
+    pub fn row(&mut self, which: Snapshot, u: NodeId) -> Result<&[u32], BudgetError> {
+        if self.cache.is_paid(which, u) {
+            self.cache_hits += 1;
+            if !self.cache.touch(which, u) {
+                let dist = self.compute_one(which, u, false);
+                self.recomputed_rows += 1;
+                self.cache.insert(which, u, dist);
+            }
+        } else {
+            self.charge()?;
+            self.cache_misses += 1;
+            let dist = self.compute_one(which, u, true);
+            self.cache.mark_paid(which, u);
+            self.cache.insert(which, u, dist);
+        }
+        Ok(self.cache.get(which, u).expect("row just made resident"))
+    }
+
+    /// Both rows of `u` at once (for Δ computation). The returned pair is
+    /// protected from eviction by the LRU's recency pin.
     pub fn rows(&mut self, u: NodeId) -> Result<(&[u32], &[u32]), BudgetError> {
         self.row(Snapshot::First, u)?;
         self.row(Snapshot::Second, u)?;
         Ok((
-            self.rows1.get(&u.0).expect("cached").as_slice(),
-            self.rows2.get(&u.0).expect("cached").as_slice(),
+            self.cache.get(Snapshot::First, u).expect("pinned"),
+            self.cache.get(Snapshot::Second, u).expect("pinned"),
         ))
     }
 
-    /// The cached row of `u` in the chosen snapshot, if present. Never
+    /// The *resident* row of `u` in the chosen snapshot, if present. Never
     /// computes or charges; safe to call from parallel readers via `&self`.
+    /// Under a bounded [`RowCacheBudget`] a paid row may be absent — use
+    /// [`Self::read_rows`] for eviction-safe shared reads.
     pub fn cached_row(&self, which: Snapshot, u: NodeId) -> Option<&[u32]> {
-        match which {
-            Snapshot::First => self.rows1.get(&u.0).map(Vec::as_slice),
-            Snapshot::Second => self.rows2.get(&u.0).map(Vec::as_slice),
-        }
+        self.cache.get(which, u)
     }
 
-    /// Both cached rows of `u`, if both are present. Never computes or
+    /// Both resident rows of `u`, if both are present. Never computes or
     /// charges.
     pub fn cached_rows(&self, u: NodeId) -> Option<(&[u32], &[u32])> {
         Some((
-            self.rows1.get(&u.0)?.as_slice(),
-            self.rows2.get(&u.0)?.as_slice(),
+            self.cache.get(Snapshot::First, u)?,
+            self.cache.get(Snapshot::Second, u)?,
         ))
     }
 
+    /// Eviction-safe shared read of both rows of `u`: resident rows are
+    /// returned directly, evicted ones are recomputed into the caller's
+    /// [`RowScratch`]. Never charges and never mutates the oracle — the Δ
+    /// scan workers call this via `&self`. Rows are uniquely determined by
+    /// the graphs, so a recomputed row is bit-identical to the original;
+    /// recomputation time here surfaces in the caller's phase timing (the
+    /// scan), not in [`Self::sssp_secs`].
+    pub fn read_rows<'s>(
+        &'s self,
+        u: NodeId,
+        scratch: &'s mut RowScratch,
+    ) -> (&'s [u32], &'s [u32]) {
+        let RowScratch { d1, d2, ws } = scratch;
+        let r1 = match self.cache.get(Snapshot::First, u) {
+            Some(r) => r,
+            None => {
+                compute_row_fresh(self.g1, self.kernel, u, d1, ws);
+                d1.as_slice()
+            }
+        };
+        let r2 = match self.cache.get(Snapshot::Second, u) {
+            Some(r) => r,
+            None => {
+                compute_row_fresh(self.g2, self.kernel, u, d2, ws);
+                d2.as_slice()
+            }
+        };
+        (r1, r2)
+    }
+
     /// Batched row prefetch. Admission is **sequential and deterministic**:
-    /// requests are walked in order and each uncached row is charged to the
+    /// requests are walked in order and each unpaid row is charged to the
     /// current [`Phase`] exactly as a one-at-a-time [`Self::row`] walk
-    /// would, skipping requests once the cap is reached (cached requests
+    /// would, skipping requests once the cap is reached (paid requests
     /// stay free throughout). The admitted rows are then computed in
     /// parallel — row contents do not depend on thread count, so the cache,
     /// the ledger, and every later read are identical at any [`Self::threads`]
     /// setting.
     pub fn prefetch_rows(&mut self, requests: &[(Snapshot, NodeId)]) -> PrefetchReport {
         let mut report = PrefetchReport::default();
-        let mut planned1: HashSet<u32> = HashSet::new();
-        let mut planned2: HashSet<u32> = HashSet::new();
         let mut jobs: Vec<(Snapshot, u32)> = Vec::new();
         for &(which, u) in requests {
-            let (cache, planned) = match which {
-                Snapshot::First => (&self.rows1, &mut planned1),
-                Snapshot::Second => (&self.rows2, &mut planned2),
-            };
-            if cache.contains_key(&u.0) || planned.contains(&u.0) {
+            if self.cache.is_paid(which, u) {
                 report.cached += 1;
                 self.cache_hits += 1;
                 continue;
@@ -469,7 +865,7 @@ impl<'a> SnapshotOracle<'a> {
                 continue;
             }
             self.cache_misses += 1;
-            planned.insert(u.0);
+            self.cache.mark_paid(which, u);
             jobs.push((which, u.0));
             report.computed += 1;
         }
@@ -485,13 +881,11 @@ impl<'a> SnapshotOracle<'a> {
     /// set are bit-identical to the one-at-a-time path.
     pub fn prefetch_node_rows(&mut self, nodes: &[NodeId]) -> NodePrefetchReport {
         let mut report = NodePrefetchReport::default();
-        let mut planned1: HashSet<u32> = HashSet::new();
-        let mut planned2: HashSet<u32> = HashSet::new();
         let mut jobs: Vec<(Snapshot, u32)> = Vec::new();
         let mut planned_spend: u64 = 0;
         for &u in nodes {
-            let have1 = self.rows1.contains_key(&u.0) || planned1.contains(&u.0);
-            let have2 = self.rows2.contains_key(&u.0) || planned2.contains(&u.0);
+            let have1 = self.cache.is_paid(Snapshot::First, u);
+            let have2 = self.cache.is_paid(Snapshot::Second, u);
             let cost = u64::from(!have1) + u64::from(!have2);
             let remaining = match self.limit {
                 None => u64::MAX,
@@ -502,14 +896,14 @@ impl<'a> SnapshotOracle<'a> {
                 continue;
             }
             if !have1 {
-                planned1.insert(u.0);
+                self.cache.mark_paid(Snapshot::First, u);
                 jobs.push((Snapshot::First, u.0));
             } else {
                 report.rows.cached += 1;
                 self.cache_hits += 1;
             }
             if !have2 {
-                planned2.insert(u.0);
+                self.cache.mark_paid(Snapshot::Second, u);
                 jobs.push((Snapshot::Second, u.0));
             } else {
                 report.rows.cached += 1;
@@ -533,6 +927,200 @@ impl<'a> SnapshotOracle<'a> {
             Snapshot::First => self.g1,
             Snapshot::Second => self.g2,
         }
+    }
+
+    /// Computes an admitted (deduplicated, already charged) job batch.
+    /// When the snapshot pair is growth-only and repair is enabled, `t2`
+    /// jobs whose `t1` donor row is either already resident or planned in
+    /// this very batch peel off into a repair pass that runs **after** the
+    /// full computations have merged — so a candidate's freshly computed
+    /// `t1` row immediately donates to its own `t2` row. Repaired rows
+    /// bypass the multi-source waves; each still carries its one-SSSP
+    /// charge from admission.
+    fn compute_jobs(&mut self, jobs: &[(Snapshot, u32)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        if !self.repair_ready() {
+            self.compute_full_jobs(jobs);
+            return;
+        }
+        let planned1: HashSet<u32> = jobs
+            .iter()
+            .filter(|j| j.0 == Snapshot::First)
+            .map(|j| j.1)
+            .collect();
+        type Jobs = Vec<(Snapshot, u32)>;
+        let (repairable, full): (Jobs, Jobs) = jobs.iter().copied().partition(|&(which, u)| {
+            which == Snapshot::Second
+                && (planned1.contains(&u) || self.cache.get(Snapshot::First, NodeId(u)).is_some())
+        });
+        self.compute_full_jobs(&full);
+        self.compute_repair_jobs(&repairable);
+    }
+
+    /// Full-sweep computation of a job batch — in parallel above
+    /// [`PARALLEL_ROW_CUTOFF`], inline otherwise. Jobs are grouped into
+    /// kernel work items first (multi-source waves under
+    /// [`BfsKernel::Auto`]); the scoped-worker fan-out then distributes
+    /// *items*, so wave batching composes with thread parallelism. Each
+    /// worker owns its scratch; the shared state is one atomic item cursor
+    /// and disjoint per-item result slots. Row contents are kernel- and
+    /// thread-invariant, so cache, ledger, and every later read are
+    /// identical under any configuration.
+    fn compute_full_jobs(&mut self, jobs: &[(Snapshot, u32)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let items = self.plan_items(jobs);
+        for (which, idxs) in &items {
+            if self.graph_of(*which).is_weighted() {
+                self.kstats.dijkstra_rows += idxs.len() as u64;
+            } else if idxs.len() >= 2 {
+                self.kstats.msbfs_waves += 1;
+                self.kstats.msbfs_rows += idxs.len() as u64;
+            } else {
+                self.kstats.bfs_rows += idxs.len() as u64;
+            }
+        }
+        let threads = self.threads.min(items.len()).max(1);
+        if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
+            for (which, idxs) in &items {
+                let t_item = std::time::Instant::now();
+                let graph = self.graph_of(*which);
+                let computed =
+                    compute_item(graph, self.kernel, jobs, idxs, &mut self.ws, &mut self.msws);
+                if *which == Snapshot::Second {
+                    self.sssp_t2_secs += t_item.elapsed().as_secs_f64();
+                }
+                self.merge_rows(jobs, computed);
+            }
+            self.sssp_secs += started.elapsed().as_secs_f64();
+            return;
+        }
+        let (g1, g2) = (self.g1, self.g2);
+        let kernel = self.kernel;
+        type ItemSlot = parking_lot::Mutex<(Vec<(usize, Vec<u32>)>, f64)>;
+        let slots: Vec<ItemSlot> = (0..items.len())
+            .map(|_| parking_lot::Mutex::new((Vec::new(), 0.0)))
+            .collect();
+        let cursor = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut ws = BfsWorkspace::new();
+                    let mut msws = MsBfsWorkspace::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let (which, idxs) = &items[i];
+                        let graph = match which {
+                            Snapshot::First => g1,
+                            Snapshot::Second => g2,
+                        };
+                        let t_item = std::time::Instant::now();
+                        let computed = compute_item(graph, kernel, jobs, idxs, &mut ws, &mut msws);
+                        *slots[i].lock() = (computed, t_item.elapsed().as_secs_f64());
+                    }
+                });
+            }
+        })
+        .expect("prefetch worker panicked");
+        for (i, slot) in slots.into_iter().enumerate() {
+            let (computed, secs) = slot.into_inner();
+            if items[i].0 == Snapshot::Second {
+                self.sssp_t2_secs += secs;
+            }
+            self.merge_rows(jobs, computed);
+        }
+        self.sssp_secs += started.elapsed().as_secs_f64();
+    }
+
+    /// The repair pass of a batch: every job is a `t2` row whose donor was
+    /// expected. Donor lookups are frozen against the post-full-pass cache
+    /// state *before* any computation (identical inline or fanned out, at
+    /// any thread count); a job whose donor was meanwhile evicted falls
+    /// back to a full sweep — same bits either way.
+    fn compute_repair_jobs(&mut self, jobs: &[(Snapshot, u32)]) {
+        if jobs.is_empty() {
+            return;
+        }
+        let started = std::time::Instant::now();
+        let delta = self.delta.as_ref().expect("repair pass needs the delta");
+        let cache = &self.cache;
+        let donors: Vec<Option<&[u32]>> = jobs
+            .iter()
+            .map(|&(_, u)| cache.get(Snapshot::First, NodeId(u)))
+            .collect();
+        let g2 = self.g2;
+        let kernel = self.kernel;
+        let threads = self.threads.min(jobs.len()).max(1);
+        let computed: Vec<(Vec<u32>, Option<usize>, f64)> = if threads == 1
+            || jobs.len() < PARALLEL_ROW_CUTOFF
+        {
+            let ws = &mut self.ws;
+            let rws = &mut self.rws;
+            jobs.iter()
+                .zip(&donors)
+                .map(|(&(_, u), &donor)| repair_item(g2, kernel, NodeId(u), donor, delta, ws, rws))
+                .collect()
+        } else {
+            type RepairSlot = parking_lot::Mutex<(Vec<u32>, Option<usize>, f64)>;
+            let slots: Vec<RepairSlot> = (0..jobs.len())
+                .map(|_| parking_lot::Mutex::new((Vec::new(), None, 0.0)))
+                .collect();
+            let cursor = AtomicUsize::new(0);
+            let donors = &donors;
+            crossbeam::thread::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| {
+                        let mut ws = BfsWorkspace::new();
+                        let mut rws = RepairWorkspace::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= jobs.len() {
+                                break;
+                            }
+                            *slots[i].lock() = repair_item(
+                                g2,
+                                kernel,
+                                NodeId(jobs[i].1),
+                                donors[i],
+                                delta,
+                                &mut ws,
+                                &mut rws,
+                            );
+                        }
+                    });
+                }
+            })
+            .expect("repair worker panicked");
+            slots.into_iter().map(|s| s.into_inner()).collect()
+        };
+        drop(donors);
+        for (i, (dist, settled, secs)) in computed.into_iter().enumerate() {
+            let u = NodeId(jobs[i].1);
+            self.sssp_t2_secs += secs;
+            match settled {
+                Some(s) => {
+                    self.repaired_rows += 1;
+                    self.repair_frontier += s as u64;
+                    self.kstats.repair_rows += 1;
+                }
+                None => {
+                    if g2.is_weighted() {
+                        self.kstats.dijkstra_rows += 1;
+                    } else {
+                        self.kstats.bfs_rows += 1;
+                    }
+                }
+            }
+            self.cache.insert(Snapshot::Second, u, dist);
+        }
+        self.sssp_secs += started.elapsed().as_secs_f64();
     }
 
     /// Plans the kernel work items for a job batch: under [`BfsKernel::Auto`]
@@ -570,85 +1158,30 @@ impl<'a> SnapshotOracle<'a> {
         items
     }
 
-    /// Computes the (deduplicated, already charged) row jobs and merges
-    /// them into the caches — in parallel above [`PARALLEL_ROW_CUTOFF`],
-    /// inline otherwise. Jobs are grouped into kernel work items first
-    /// (multi-source waves under [`BfsKernel::Auto`]); the scoped-worker
-    /// fan-out then distributes *items*, so wave batching composes with
-    /// thread parallelism. Each worker owns its scratch; the shared state
-    /// is one atomic item cursor and disjoint per-item result slots. Row
-    /// contents are kernel- and thread-invariant, so cache, ledger, and
-    /// every later read are identical under any configuration.
-    fn compute_jobs(&mut self, jobs: &[(Snapshot, u32)]) {
-        if jobs.is_empty() {
-            return;
-        }
-        let started = std::time::Instant::now();
-        let items = self.plan_items(jobs);
-        for (which, idxs) in &items {
-            if self.graph_of(*which).is_weighted() {
-                self.kstats.dijkstra_rows += idxs.len() as u64;
-            } else if idxs.len() >= 2 {
-                self.kstats.msbfs_waves += 1;
-                self.kstats.msbfs_rows += idxs.len() as u64;
-            } else {
-                self.kstats.bfs_rows += idxs.len() as u64;
-            }
-        }
-        let threads = self.threads.min(items.len()).max(1);
-        if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
-            for (which, idxs) in &items {
-                let graph = self.graph_of(*which);
-                let computed =
-                    compute_item(graph, self.kernel, jobs, idxs, &mut self.ws, &mut self.msws);
-                self.merge_rows(jobs, computed);
-            }
-            self.sssp_secs += started.elapsed().as_secs_f64();
-            return;
-        }
-        let (g1, g2) = (self.g1, self.g2);
-        let kernel = self.kernel;
-        type ItemSlot = parking_lot::Mutex<Vec<(usize, Vec<u32>)>>;
-        let slots: Vec<ItemSlot> = (0..items.len())
-            .map(|_| parking_lot::Mutex::new(Vec::new()))
-            .collect();
-        let cursor = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let mut ws = BfsWorkspace::new();
-                    let mut msws = MsBfsWorkspace::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let (which, idxs) = &items[i];
-                        let graph = match which {
-                            Snapshot::First => g1,
-                            Snapshot::Second => g2,
-                        };
-                        *slots[i].lock() =
-                            compute_item(graph, kernel, jobs, idxs, &mut ws, &mut msws);
-                    }
-                });
-            }
-        })
-        .expect("prefetch worker panicked");
-        for slot in slots {
-            self.merge_rows(jobs, slot.into_inner());
-        }
-        self.sssp_secs += started.elapsed().as_secs_f64();
-    }
-
-    /// Inserts computed `(job index, row)` results into the snapshot caches.
+    /// Inserts computed `(job index, row)` results into the resident cache.
     fn merge_rows(&mut self, jobs: &[(Snapshot, u32)], computed: Vec<(usize, Vec<u32>)>) {
         for (idx, dist) in computed {
             let (which, u) = jobs[idx];
-            match which {
-                Snapshot::First => self.rows1.insert(u, dist),
-                Snapshot::Second => self.rows2.insert(u, dist),
-            };
+            self.cache.insert(which, NodeId(u), dist);
+        }
+    }
+}
+
+/// Computes one row from scratch with the configured kernel (no repair, no
+/// stats — the shared-read fallback of [`SnapshotOracle::read_rows`]).
+fn compute_row_fresh(
+    graph: &Graph,
+    kernel: BfsKernel,
+    u: NodeId,
+    dist: &mut Vec<u32>,
+    ws: &mut BfsWorkspace,
+) {
+    if graph.is_weighted() {
+        dijkstra_into(graph, u, dist);
+    } else {
+        match kernel {
+            BfsKernel::Scalar => bfs_scalar_into(graph, u, dist, ws),
+            BfsKernel::Auto => bfs_into(graph, u, dist, ws),
         }
     }
 }
@@ -687,10 +1220,38 @@ fn compute_item(
         .collect()
 }
 
+/// Runs one repair-pass job: a snapshot-delta repair when the donor row is
+/// available, a full sweep otherwise. Returns the row, `Some(settled)` iff
+/// repaired, and the item's seconds.
+fn repair_item(
+    g2: &Graph,
+    kernel: BfsKernel,
+    u: NodeId,
+    donor: Option<&[u32]>,
+    delta: &SnapshotDelta,
+    ws: &mut BfsWorkspace,
+    rws: &mut RepairWorkspace,
+) -> (Vec<u32>, Option<usize>, f64) {
+    let started = std::time::Instant::now();
+    let mut dist = Vec::new();
+    let settled = match donor {
+        Some(t1) => Some(if g2.is_weighted() {
+            dijkstra_repair_into(g2, t1, &delta.inserted, &mut dist, rws)
+        } else {
+            bfs_repair_into(g2, t1, &delta.inserted, &mut dist, rws)
+        }),
+        None => {
+            compute_row_fresh(g2, kernel, u, &mut dist, ws);
+            None
+        }
+    };
+    (dist, settled, started.elapsed().as_secs_f64())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cp_graph::builder::graph_from_edges;
+    use cp_graph::builder::{graph_from_edges, GraphBuilder};
     use cp_graph::INF;
 
     fn graphs() -> (Graph, Graph) {
@@ -770,5 +1331,161 @@ mod tests {
         let g1 = graph_from_edges(3, &[(0, 1)]);
         let g2 = graph_from_edges(4, &[(0, 1)]);
         SnapshotOracle::unbounded(&g1, &g2);
+    }
+
+    #[test]
+    fn t2_rows_are_repaired_from_t1_donors() {
+        let (g1, g2) = graphs();
+        // Pin the cache on: this test asserts repairs happen even when the
+        // environment (e.g. the CI matrix leg) sets CP_ROW_CACHE=0.
+        let mut o = SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Unbounded);
+        for u in g1.nodes() {
+            let (d1, d2) = o.rows(u).unwrap();
+            assert_eq!(d1, cp_graph::bfs::bfs(&g1, u).as_slice(), "t1 of {u:?}");
+            assert_eq!(d2, cp_graph::bfs::bfs(&g2, u).as_slice(), "t2 of {u:?}");
+        }
+        // Every t2 row had its donor resident: all were repaired.
+        assert_eq!(o.repaired_rows(), 5);
+        assert_eq!(o.kernel_stats().repair_rows, 5);
+        assert_eq!(o.kernel_stats().bfs_rows, 5);
+        assert!(o.repair_frontier_nodes() > 0);
+    }
+
+    #[test]
+    fn disabled_cache_means_no_repairs_and_same_rows() {
+        let (g1, g2) = graphs();
+        let mut on = SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Unbounded);
+        let mut off = SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Bytes(0));
+        for u in g1.nodes() {
+            let (a1, a2) = on.rows(u).map(|(a, b)| (a.to_vec(), b.to_vec())).unwrap();
+            let (b1, b2) = off.rows(u).map(|(a, b)| (a.to_vec(), b.to_vec())).unwrap();
+            assert_eq!(a1, b1);
+            assert_eq!(a2, b2);
+        }
+        assert!(on.repaired_rows() > 0);
+        assert_eq!(off.repaired_rows(), 0);
+        assert_eq!(on.ledger(), off.ledger());
+    }
+
+    #[test]
+    fn tiny_cache_evicts_but_results_and_ledger_survive() {
+        let (g1, g2) = graphs();
+        // Room for ~2 rows of 5 nodes (20 bytes each): constant eviction.
+        let mut o =
+            SnapshotOracle::with_budget(&g1, &g2, 10).with_row_cache(RowCacheBudget::Bytes(40));
+        let mut reference = SnapshotOracle::with_budget(&g1, &g2, 10);
+        for u in g1.nodes() {
+            let (d1, d2) = o.rows(u).map(|(a, b)| (a.to_vec(), b.to_vec())).unwrap();
+            let (r1, r2) = reference
+                .rows(u)
+                .map(|(a, b)| (a.to_vec(), b.to_vec()))
+                .unwrap();
+            assert_eq!(d1, r1, "t1 of {u:?}");
+            assert_eq!(d2, r2, "t2 of {u:?}");
+        }
+        assert!(o.cache_evictions() > 0);
+        assert!(o.cache_bytes() <= 40 + 2 * 20, "pinned rows may overhang");
+        // All ten rows paid once; re-reads stay free even though evicted.
+        assert_eq!(o.ledger(), reference.ledger());
+        o.rows(NodeId(0)).unwrap();
+        assert_eq!(o.ledger().total(), 10);
+        assert!(o.recomputed_rows() > 0);
+        assert_eq!(o.fully_cached_nodes(), reference.fully_cached_nodes());
+    }
+
+    #[test]
+    fn invalidation_keeps_paid_status() {
+        let (g1, g2) = graphs();
+        let mut o = SnapshotOracle::with_budget(&g1, &g2, 4);
+        let before = o
+            .rows(NodeId(2))
+            .map(|(a, b)| (a.to_vec(), b.to_vec()))
+            .unwrap();
+        o.invalidate_row(Snapshot::First, NodeId(2));
+        assert!(o.cached_row(Snapshot::First, NodeId(2)).is_none());
+        assert_eq!(o.cost_of(NodeId(2)), 0, "paid status survives invalidation");
+        let after = o
+            .rows(NodeId(2))
+            .map(|(a, b)| (a.to_vec(), b.to_vec()))
+            .unwrap();
+        assert_eq!(before, after);
+        assert_eq!(o.ledger().total(), 2, "recomputation is free");
+        o.invalidate_resident();
+        assert_eq!(o.cache_bytes(), 0);
+        assert!(o.has_both(NodeId(2)));
+    }
+
+    #[test]
+    fn weighted_snapshots_use_dijkstra_repair() {
+        let mut b1 = GraphBuilder::new(4);
+        b1.add_weighted_edge(NodeId(0), NodeId(1), 3);
+        b1.add_weighted_edge(NodeId(1), NodeId(2), 4);
+        let g1 = b1.build();
+        let mut b2 = GraphBuilder::new(4);
+        b2.add_weighted_edge(NodeId(0), NodeId(1), 3);
+        b2.add_weighted_edge(NodeId(1), NodeId(2), 4);
+        b2.add_weighted_edge(NodeId(0), NodeId(2), 1);
+        b2.add_weighted_edge(NodeId(2), NodeId(3), 2);
+        let g2 = b2.build();
+        let mut o = SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Unbounded);
+        for u in g1.nodes() {
+            let (d1, d2) = o.rows(u).unwrap();
+            assert_eq!(d1, cp_graph::dijkstra::dijkstra(&g1, u).as_slice());
+            assert_eq!(d2, cp_graph::dijkstra::dijkstra(&g2, u).as_slice());
+        }
+        assert_eq!(o.repaired_rows(), 4);
+        assert_eq!(o.kernel_stats().dijkstra_rows, 4); // the four t1 rows
+    }
+
+    #[test]
+    fn non_growth_pairs_never_repair() {
+        let g1 = graph_from_edges(4, &[(0, 1), (1, 2)]);
+        let g2 = graph_from_edges(4, &[(0, 1), (2, 3)]); // (1,2) removed
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        for u in g1.nodes() {
+            o.rows(u).unwrap();
+        }
+        assert_eq!(o.repaired_rows(), 0);
+        assert_eq!(o.kernel_stats().bfs_rows, 8);
+    }
+
+    #[test]
+    fn row_cache_budget_parses() {
+        use RowCacheBudget::*;
+        assert_eq!(RowCacheBudget::parse(""), Some(Unbounded));
+        assert_eq!(RowCacheBudget::parse("unbounded"), Some(Unbounded));
+        assert_eq!(RowCacheBudget::parse("0"), Some(Bytes(0)));
+        assert_eq!(RowCacheBudget::parse("4096"), Some(Bytes(4096)));
+        assert_eq!(RowCacheBudget::parse("64k"), Some(Bytes(64 << 10)));
+        assert_eq!(RowCacheBudget::parse("64KB"), Some(Bytes(64 << 10)));
+        assert_eq!(RowCacheBudget::parse("2m"), Some(Bytes(2 << 20)));
+        assert_eq!(RowCacheBudget::parse("1g"), Some(Bytes(1 << 30)));
+        assert_eq!(RowCacheBudget::parse("nope"), None);
+        assert_eq!(Bytes(0).describe(), "0");
+        assert_eq!(Unbounded.describe(), "unbounded");
+        assert!(!Bytes(0).repair_enabled());
+        assert!(Bytes(1).repair_enabled());
+        assert!(Unbounded.repair_enabled());
+    }
+
+    #[test]
+    fn read_rows_recomputes_evicted_rows() {
+        let (g1, g2) = graphs();
+        let mut o = SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Bytes(0));
+        let expected: Vec<(Vec<u32>, Vec<u32>)> = g1
+            .nodes()
+            .map(|u| {
+                let (a, b) = o.rows(u).unwrap();
+                (a.to_vec(), b.to_vec())
+            })
+            .collect();
+        // All but the two pinned rows are gone; shared reads still resolve.
+        let mut scratch = RowScratch::new();
+        for (u, (e1, e2)) in g1.nodes().zip(&expected) {
+            let (r1, r2) = o.read_rows(u, &mut scratch);
+            assert_eq!(r1, e1.as_slice(), "t1 of {u:?}");
+            assert_eq!(r2, e2.as_slice(), "t2 of {u:?}");
+        }
+        assert_eq!(o.ledger().total(), 10, "shared reads never charge");
     }
 }

@@ -11,7 +11,7 @@
 
 use super::dispersion::{dispersion_pick, DispersionMode};
 use super::CandidateSelector;
-use crate::oracle::SnapshotOracle;
+use crate::oracle::{RowScratch, SnapshotOracle};
 use cp_graph::degrees::top_m_by_score_u32;
 use cp_graph::{distance_decrease, NodeId};
 use rand::rngs::StdRng;
@@ -65,8 +65,12 @@ pub fn landmark_change_scores(
     let mut sum = vec![0u32; n];
     let mut max = vec![0u32; n];
     let used = oracle.prefetch_node_rows(landmarks).usable;
+    // Served landmarks are paid, but a bounded row cache may have evicted
+    // their bytes by now; `read_rows` recomputes such rows (bit-identical,
+    // free of charge) into the scratch.
+    let mut scratch = RowScratch::new();
     for &w in &used {
-        let (d1, d2) = oracle.cached_rows(w).expect("landmark rows prefetched");
+        let (d1, d2) = oracle.read_rows(w, &mut scratch);
         for i in 0..n {
             let delta = distance_decrease(d1[i], d2[i]).unwrap_or(0);
             sum[i] = sum[i].saturating_add(delta);

@@ -12,7 +12,7 @@
 //!    the pairs matching the [`TopKSpec`] are returned.
 
 use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
-use crate::oracle::{BfsKernel, BudgetLedger, KernelStats, Phase, SnapshotOracle};
+use crate::oracle::{BfsKernel, BudgetLedger, KernelStats, Phase, RowScratch, SnapshotOracle};
 use crate::selectors::CandidateSelector;
 use cp_graph::{distance_decrease, Graph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -39,19 +39,35 @@ pub struct PipelineStats {
     /// Seconds the oracle spent computing distance rows across *all*
     /// phases (selector probes included) — the time the BFS kernels own.
     pub sssp_secs: f64,
+    /// Seconds of `sssp_secs` spent on `G_t2` rows specifically, summed
+    /// per work item (comparable across thread counts) — the time
+    /// snapshot-delta repair attacks.
+    pub sssp_t2_secs: f64,
     /// Total SSSP computations charged (equals the ledger total).
     pub sssp_computed: u64,
     /// Row requests served from cache (free).
     pub cache_hits: u64,
     /// Row requests that required a fresh computation.
     pub cache_misses: u64,
+    /// `t2` rows derived by snapshot-delta repair from a resident `t1`
+    /// donor row instead of a full sweep.
+    pub repaired_rows: u64,
+    /// Total nodes settled by repair frontiers; divide by
+    /// `repaired_rows` for the mean shrinking-region size.
+    pub repair_frontier_nodes: u64,
+    /// Paid rows recomputed free of charge after LRU eviction (0 under
+    /// the default unbounded row cache).
+    pub recomputed_rows: u64,
+    /// Bytes of row payload resident in the oracle's cache at the end of
+    /// the run.
+    pub cache_bytes: usize,
     /// Worker threads the oracle was configured with.
     pub threads: usize,
     /// The unweighted SSSP kernel the oracle ran (`scalar` | `auto`).
     pub kernel: BfsKernel,
-    /// Per-kernel work counters: multi-source waves and how many rows
-    /// each kernel produced (`msbfs_rows + bfs_rows + dijkstra_rows`
-    /// equals `sssp_computed`).
+    /// Per-kernel work counters: multi-source waves and how many rows each
+    /// kernel produced (`msbfs_rows + bfs_rows + dijkstra_rows +
+    /// repair_rows` equals `sssp_computed`).
     pub kernel_stats: KernelStats,
 }
 
@@ -132,9 +148,14 @@ pub fn run_pipeline(
             prefetch_secs,
             scan_secs,
             sssp_secs: oracle.sssp_secs(),
+            sssp_t2_secs: oracle.sssp_t2_secs(),
             sssp_computed: oracle.ledger().total(),
             cache_hits,
             cache_misses,
+            repaired_rows: oracle.repaired_rows(),
+            repair_frontier_nodes: oracle.repair_frontier_nodes(),
+            recomputed_rows: oracle.recomputed_rows(),
+            cache_bytes: oracle.cache_bytes(),
             threads: oracle.threads(),
             kernel: oracle.kernel(),
             kernel_stats: oracle.kernel_stats(),
@@ -187,12 +208,17 @@ fn pairs_from_candidates(
 
 /// The Δ > 0 pairs contributed by each candidate's row pair, one bucket
 /// per candidate (not yet deduplicated across candidates).
+///
+/// Rows are fetched with [`SnapshotOracle::read_rows`]: candidates are
+/// *paid* by construction, but under a bounded row cache their bytes may
+/// have been evicted, in which case each worker recomputes them into its
+/// own [`RowScratch`] — same bits, no charge, no shared mutation.
 fn scan_candidate_rows(
     oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
 ) -> Vec<Vec<ConvergingPair>> {
-    let scan_one = |u: NodeId| -> Vec<ConvergingPair> {
-        let (d1, d2) = oracle.cached_rows(u).expect("candidate rows are cached");
+    let scan_one = |u: NodeId, scratch: &mut RowScratch| -> Vec<ConvergingPair> {
+        let (d1, d2) = oracle.read_rows(u, scratch);
         let mut found = Vec::new();
         for v_idx in 0..d1.len() {
             if v_idx == u.index() {
@@ -211,7 +237,11 @@ fn scan_candidate_rows(
 
     let threads = oracle.threads().min(candidates.len()).max(1);
     if threads == 1 || candidates.len() < PARALLEL_SCAN_CUTOFF {
-        return candidates.iter().map(|&u| scan_one(u)).collect();
+        let mut scratch = RowScratch::new();
+        return candidates
+            .iter()
+            .map(|&u| scan_one(u, &mut scratch))
+            .collect();
     }
     let slots: Vec<parking_lot::Mutex<Vec<ConvergingPair>>> = (0..candidates.len())
         .map(|_| parking_lot::Mutex::new(Vec::new()))
@@ -219,12 +249,15 @@ fn scan_candidate_rows(
     let cursor = AtomicUsize::new(0);
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= candidates.len() {
-                    break;
+            scope.spawn(|_| {
+                let mut scratch = RowScratch::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= candidates.len() {
+                        break;
+                    }
+                    *slots[i].lock() = scan_one(candidates[i], &mut scratch);
                 }
-                *slots[i].lock() = scan_one(candidates[i]);
             });
         }
     })

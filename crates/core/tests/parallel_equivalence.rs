@@ -6,7 +6,7 @@
 //! fan-out, the wave batching, and the Δ scan differ.
 
 use cp_core::exact::TopKSpec;
-use cp_core::oracle::{BfsKernel, Snapshot, SnapshotOracle};
+use cp_core::oracle::{BfsKernel, RowCacheBudget, Snapshot, SnapshotOracle};
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, BudgetedResult};
 use cp_graph::builder::graph_from_edges;
@@ -213,9 +213,14 @@ fn prefetch_batch_widths_are_kernel_invariant() {
     let (g1, g2) = grid_snapshots();
     for width in [1usize, 64, 65] {
         let nodes: Vec<NodeId> = (0..width as u32).map(NodeId).collect();
-        let mut scalar = SnapshotOracle::unbounded(&g1, &g2).with_kernel(BfsKernel::Scalar);
+        // The wave/repair expectations below need the delta cache on, so
+        // pin it against the environment (the CI matrix sets CP_ROW_CACHE=0).
+        let mut scalar = SnapshotOracle::unbounded(&g1, &g2)
+            .with_kernel(BfsKernel::Scalar)
+            .with_row_cache(RowCacheBudget::Unbounded);
         let mut auto = SnapshotOracle::unbounded(&g1, &g2)
             .with_kernel(BfsKernel::Auto)
+            .with_row_cache(RowCacheBudget::Unbounded)
             .with_threads(4);
         let rs = scalar.prefetch_node_rows(&nodes);
         let ra = auto.prefetch_node_rows(&nodes);
@@ -231,22 +236,26 @@ fn prefetch_batch_widths_are_kernel_invariant() {
             }
         }
         let ks = auto.kernel_stats();
-        // Each snapshot's batch of `width` sources is chunked into
-        // ceil(width / 64) waves; single-row remainders go to plain BFS.
+        // The snapshots grow (`g1 ⊆ g2`), so every `t2` row is repaired
+        // from its batch-mate `t1` donor and only the `t1` batch of
+        // `width` sources is chunked into ceil(width / 64) waves;
+        // single-row remainders go to plain BFS.
         let (waves, wave_rows) = match width {
             1 => (0, 0),
-            64 => (2, 128),
-            65 => (2, 128),
+            64 => (1, 64),
+            65 => (1, 64),
             _ => unreachable!(),
         };
         assert_eq!(ks.msbfs_waves, waves, "width {width}");
         assert_eq!(ks.msbfs_rows, wave_rows, "width {width}");
+        assert_eq!(ks.repair_rows, width as u64, "width {width}");
         assert_eq!(
-            ks.msbfs_rows + ks.bfs_rows + ks.dijkstra_rows,
+            ks.msbfs_rows + ks.bfs_rows + ks.dijkstra_rows + ks.repair_rows,
             auto.ledger().total(),
             "width {width}: row counters must add up to the ledger"
         );
         assert_eq!(scalar.kernel_stats().msbfs_waves, 0);
+        assert_eq!(scalar.kernel_stats().repair_rows, width as u64);
     }
 }
 
@@ -268,9 +277,14 @@ fn weighted_snapshots_fall_back_to_dijkstra() {
     let g2 = weighted(&[(0, 11, 1), (3, 8, 2)]);
     assert!(g1.is_weighted() && g2.is_weighted());
     let nodes: Vec<NodeId> = (0..12).map(NodeId).collect();
-    let mut scalar = SnapshotOracle::unbounded(&g1, &g2).with_kernel(BfsKernel::Scalar);
+    // Repair expectations below need the delta cache on regardless of the
+    // environment's CP_ROW_CACHE.
+    let mut scalar = SnapshotOracle::unbounded(&g1, &g2)
+        .with_kernel(BfsKernel::Scalar)
+        .with_row_cache(RowCacheBudget::Unbounded);
     let mut auto = SnapshotOracle::unbounded(&g1, &g2)
         .with_kernel(BfsKernel::Auto)
+        .with_row_cache(RowCacheBudget::Unbounded)
         .with_threads(4);
     scalar.prefetch_node_rows(&nodes);
     auto.prefetch_node_rows(&nodes);
@@ -287,5 +301,9 @@ fn weighted_snapshots_fall_back_to_dijkstra() {
     assert_eq!(ks.msbfs_waves, 0, "weighted graphs must not plan waves");
     assert_eq!(ks.msbfs_rows, 0);
     assert_eq!(ks.bfs_rows, 0);
-    assert_eq!(ks.dijkstra_rows, auto.ledger().total());
+    // The t1 rows are full Dijkstra sweeps; the growth-only weighted pair
+    // lets every t2 row come from Dijkstra-repair instead.
+    assert_eq!(ks.dijkstra_rows, 12);
+    assert_eq!(ks.repair_rows, 12);
+    assert_eq!(ks.dijkstra_rows + ks.repair_rows, auto.ledger().total());
 }

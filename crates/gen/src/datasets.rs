@@ -81,11 +81,41 @@ pub struct DatasetProfile {
     pub scale: f64,
 }
 
+/// A rejected dataset scale (outside `(0, 1]`, or NaN).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScaleError {
+    /// The rejected value.
+    pub scale: f64,
+}
+
+impl std::fmt::Display for ScaleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dataset scale must be in (0, 1], got {}", self.scale)
+    }
+}
+
+impl std::error::Error for ScaleError {}
+
 impl DatasetProfile {
-    /// Creates a profile at the given scale.
+    /// Fallible constructor for parse/config paths (CLI `--scale` flags):
+    /// scales outside `(0, 1]` — NaN included — become an error the caller
+    /// can surface instead of a panic.
+    pub fn try_scaled(kind: DatasetKind, scale: f64) -> Result<Self, ScaleError> {
+        if scale > 0.0 && scale <= 1.0 {
+            Ok(DatasetProfile { kind, scale })
+        } else {
+            Err(ScaleError { scale })
+        }
+    }
+
+    /// Creates a profile at the given scale, panicking on an invalid one
+    /// (for hard-coded scales; parsed input goes through
+    /// [`Self::try_scaled`]).
     pub fn scaled(kind: DatasetKind, scale: f64) -> Self {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-        DatasetProfile { kind, scale }
+        match Self::try_scaled(kind, scale) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Generates the temporal stream for this profile.
@@ -225,5 +255,18 @@ mod tests {
     #[should_panic(expected = "scale")]
     fn zero_scale_panics() {
         DatasetProfile::scaled(DatasetKind::Actors, 0.0);
+    }
+
+    #[test]
+    fn try_scaled_rejects_bad_scales_without_panicking() {
+        for bad in [0.0, -0.5, 1.5, f64::NAN, f64::INFINITY] {
+            let err = DatasetProfile::try_scaled(DatasetKind::Dblp, bad)
+                .expect_err("scale outside (0, 1] must be rejected");
+            assert!(err.to_string().contains("scale"), "{err}");
+        }
+        for good in [f64::MIN_POSITIVE, 0.25, 1.0] {
+            let p = DatasetProfile::try_scaled(DatasetKind::Dblp, good).unwrap();
+            assert_eq!(p.scale, good);
+        }
     }
 }

@@ -148,6 +148,74 @@ mod tests {
     }
 
     #[test]
+    fn truncated_record_is_malformed() {
+        // A file cut off mid-record: the final line lost its second
+        // endpoint. This must surface as a positioned parse error, not a
+        // panic or a silently shorter stream.
+        let text = "0 1 0\n1 2 1\n2";
+        match read_temporal(text.as_bytes()) {
+            Err(IoError::Parse { line, content }) => {
+                assert_eq!(line, 3);
+                assert_eq!(content, "2");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_time_column_is_rejected() {
+        let text = "0 1 soon\n";
+        match read_temporal(text.as_bytes()) {
+            Err(IoError::Parse { line, content }) => {
+                assert_eq!(line, 1);
+                assert_eq!(content, "0 1 soon");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_failure_mid_stream_propagates_io_error() {
+        /// Serves a prefix of the data, then fails — a file truncated at
+        /// the storage layer rather than the record layer.
+        struct TruncatedReader {
+            data: &'static [u8],
+            pos: usize,
+        }
+        impl std::io::Read for TruncatedReader {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos >= self.data.len() {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "storage truncated",
+                    ));
+                }
+                let n = buf.len().min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+        let reader = std::io::BufReader::new(TruncatedReader {
+            data: b"0 1 0\n1 2 1\n",
+            pos: 0,
+        });
+        match read_temporal(reader) {
+            Err(IoError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof),
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let path = std::env::temp_dir().join("cp_gen_io_test_definitely_missing.txt");
+        match read_temporal_file(&path) {
+            Err(IoError::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::NotFound),
+            other => panic!("expected io error, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn empty_input() {
         let t = read_temporal("".as_bytes()).unwrap();
         assert_eq!(t.num_nodes(), 0);

@@ -1,30 +1,87 @@
 //! Property-based tests for the generators: every generator must produce a
 //! structurally valid, deterministic, monotone temporal graph.
+//!
+//! Two invariants here carry the rest of the codebase:
+//!
+//! * **Growth-only snapshots** — for any fractions `f1 ≤ f2` the pair
+//!   `(G_f1, G_f2)` must satisfy `G_t1 ⊆ G_t2` in both node and edge sets
+//!   (with weights preserved). This is the paper's Problem 1 evolution
+//!   model *and* the precondition for the oracle's snapshot-delta row
+//!   repair, so it is checked with the very predicate the oracle uses,
+//!   [`snapshot_delta`].
+//! * **Byte-determinism** — the same seed must reproduce the identical
+//!   event stream, byte for byte, across two runs; every experiment's
+//!   reproducibility rests on this.
 
 use cp_gen::affiliation::{affiliation, AffiliationParams};
 use cp_gen::ba::barabasi_albert;
+use cp_gen::core_tendril::{core_tendril, CoreTendrilParams};
 use cp_gen::er::erdos_renyi;
 use cp_gen::forest_fire::forest_fire;
+use cp_gen::locality::{locality_pa, LocalityPaParams};
+use cp_gen::ring_sbm::{ring_sbm, RingSbmParams};
 use cp_gen::sbm::{sbm, SbmParams};
 use cp_gen::seeded_rng;
 use cp_gen::ws::watts_strogatz;
+use cp_graph::repair::snapshot_delta;
 use cp_graph::TemporalGraph;
 use proptest::prelude::*;
 
+/// The canonical byte encoding of a generated stream (Debug formatting of
+/// the event list is injective on `(u, v, weight, time)` tuples).
+fn stream_bytes(t: &TemporalGraph) -> Vec<u8> {
+    format!("{:?}", t.events()).into_bytes()
+}
+
 fn check_generator(t: &TemporalGraph) -> Result<(), TestCaseError> {
     // Full snapshot satisfies the CSR invariants.
-    let g = t.snapshot_at_fraction(1.0);
-    prop_assert_eq!(g.check_invariants(), Ok(()));
-    // Snapshots are monotone.
-    let g_half = t.snapshot_at_fraction(0.5);
-    for (u, v) in g_half.edges() {
-        prop_assert!(g.has_edge(u, v));
+    let g_full = t.snapshot_at_fraction(1.0);
+    prop_assert_eq!(g_full.check_invariants(), Ok(()));
+
+    // Snapshots are monotone: every prefix pair is growth-only in both
+    // node and edge sets — exactly the oracle's repair precondition.
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let snaps: Vec<_> = fractions
+        .iter()
+        .map(|&f| t.snapshot_at_fraction(f))
+        .collect();
+    for w in snaps.windows(2) {
+        let (g1, g2) = (&w[0], &w[1]);
+        prop_assert_eq!(g1.num_nodes(), g2.num_nodes(), "fixed node universe");
+        let delta = snapshot_delta(g1, g2);
+        prop_assert!(
+            delta.growth_only,
+            "prefix snapshots must be growth-only (G_t1 ⊆ G_t2)"
+        );
+        prop_assert_eq!(
+            g1.num_edges() + delta.inserted.len(),
+            g2.num_edges(),
+            "the delta accounts for every new edge"
+        );
+        // Node containment: a node active (degree > 0) at t1 stays active.
+        for u in g1.nodes() {
+            if g1.degree(u) > 0 {
+                prop_assert!(g2.degree(u) > 0, "active node {u:?} vanished");
+            }
+        }
     }
+
     // All events in range.
     for e in t.events() {
         prop_assert!(e.u.index() < t.num_nodes());
         prop_assert!(e.v.index() < t.num_nodes());
     }
+    Ok(())
+}
+
+/// Asserts two runs of a generator agree byte-for-byte.
+fn check_byte_determinism(a: &TemporalGraph, b: &TemporalGraph) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.events(), b.events());
+    prop_assert_eq!(
+        stream_bytes(a),
+        stream_bytes(b),
+        "event streams must be byte-identical"
+    );
     Ok(())
 }
 
@@ -38,9 +95,8 @@ proptest! {
         let t = erdos_renyi(n, m, &mut seeded_rng(seed));
         check_generator(&t)?;
         prop_assert_eq!(t.snapshot_at_fraction(1.0).num_edges(), m);
-        // Determinism.
         let t2 = erdos_renyi(n, m, &mut seeded_rng(seed));
-        prop_assert_eq!(t.events(), t2.events());
+        check_byte_determinism(&t, &t2)?;
     }
 
     #[test]
@@ -53,7 +109,7 @@ proptest! {
         let comps = cp_graph::components::components(&g);
         prop_assert_eq!(comps.num_components(), 1);
         let t2 = barabasi_albert(n, k, &mut seeded_rng(seed));
-        prop_assert_eq!(t.events(), t2.events());
+        check_byte_determinism(&t, &t2)?;
     }
 
     #[test]
@@ -61,7 +117,7 @@ proptest! {
         let t = watts_strogatz(n, 4, beta, &mut seeded_rng(seed));
         check_generator(&t)?;
         let t2 = watts_strogatz(n, 4, beta, &mut seeded_rng(seed));
-        prop_assert_eq!(t.events(), t2.events());
+        check_byte_determinism(&t, &t2)?;
     }
 
     #[test]
@@ -69,21 +125,16 @@ proptest! {
         let t = forest_fire(n, p, &mut seeded_rng(seed));
         check_generator(&t)?;
         let t2 = forest_fire(n, p, &mut seeded_rng(seed));
-        prop_assert_eq!(t.events(), t2.events());
+        check_byte_determinism(&t, &t2)?;
     }
 
     #[test]
     fn sbm_valid(n in 20usize..150, communities in 1usize..6, seed in 0u64..1000) {
-        let t = sbm(
-            SbmParams { n, communities, intra_degree: 4.0, inter_degree: 1.0 },
-            &mut seeded_rng(seed),
-        );
+        let params = SbmParams { n, communities, intra_degree: 4.0, inter_degree: 1.0 };
+        let t = sbm(params, &mut seeded_rng(seed));
         check_generator(&t)?;
-        let t2 = sbm(
-            SbmParams { n, communities, intra_degree: 4.0, inter_degree: 1.0 },
-            &mut seeded_rng(seed),
-        );
-        prop_assert_eq!(t.events(), t2.events());
+        let t2 = sbm(params, &mut seeded_rng(seed));
+        check_byte_determinism(&t, &t2)?;
     }
 
     #[test]
@@ -98,6 +149,49 @@ proptest! {
         let t = affiliation(params, &mut seeded_rng(seed));
         check_generator(&t)?;
         let t2 = affiliation(params, &mut seeded_rng(seed));
-        prop_assert_eq!(t.events(), t2.events());
+        check_byte_determinism(&t, &t2)?;
+    }
+
+    #[test]
+    fn core_tendril_valid(n in 30usize..160, seed in 0u64..1000) {
+        let params = CoreTendrilParams {
+            n,
+            ..CoreTendrilParams::default()
+        };
+        let t = core_tendril(params, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        let t2 = core_tendril(params, &mut seeded_rng(seed));
+        check_byte_determinism(&t, &t2)?;
+    }
+
+    #[test]
+    fn ring_sbm_valid(n in 30usize..160, communities in 3usize..8, seed in 0u64..1000) {
+        let params = RingSbmParams {
+            n,
+            communities,
+            intra_degree: 4.0,
+            adjacent_degree: 1.5,
+            far_degree: 0.3,
+        };
+        let t = ring_sbm(params, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        let t2 = ring_sbm(params, &mut seeded_rng(seed));
+        check_byte_determinism(&t, &t2)?;
+    }
+
+    #[test]
+    fn locality_pa_valid(n in 30usize..160, seed in 0u64..1000) {
+        let params = LocalityPaParams {
+            n,
+            edges_per_node: 2,
+            window: 16,
+            global_prob: 0.15,
+            peering_frac: 0.2,
+            peering_global_prob: 0.1,
+        };
+        let t = locality_pa(params, &mut seeded_rng(seed));
+        check_generator(&t)?;
+        let t2 = locality_pa(params, &mut seeded_rng(seed));
+        check_byte_determinism(&t, &t2)?;
     }
 }

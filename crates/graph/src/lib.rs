@@ -18,6 +18,10 @@
 //! * [`msbfs`] — bit-parallel multi-source BFS advancing up to 64 sources
 //!   per graph sweep, the kernel behind the budget oracle's batched
 //!   prefetch.
+//! * [`repair`] — snapshot-delta SSSP repair: for growth-only snapshot
+//!   pairs (`G_t1 ⊆ G_t2`) the `t2` row of a source is derived from its
+//!   `t1` row by relaxing only the shrinking region seeded from the
+//!   inserted edges, instead of sweeping the whole graph.
 //! * [`components`] — connected components, connected-pair counting.
 //! * [`diameter`] — exact (threaded all-pairs BFS) and double-sweep bounds.
 //! * [`betweenness`] — Brandes node and edge betweenness, exact and
@@ -47,6 +51,7 @@ pub mod dijkstra;
 pub mod graph;
 pub mod landmark_index;
 pub mod msbfs;
+pub mod repair;
 pub mod temporal;
 pub mod unionfind;
 

@@ -9,6 +9,11 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test -q [CP_BFS_KERNEL=scalar, CP_ROW_CACHE=0]"
+# Matrix leg: the reference scalar kernel with the snapshot-delta row
+# cache disabled — keeps the pre-optimization compute path green too.
+CP_BFS_KERNEL=scalar CP_ROW_CACHE=0 cargo test -q
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
