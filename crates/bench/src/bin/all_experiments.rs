@@ -120,6 +120,14 @@ fn main() {
                 agg.kernel_stats.bfs_rows += row.stats.kernel_stats.bfs_rows;
                 agg.kernel_stats.dijkstra_rows += row.stats.kernel_stats.dijkstra_rows;
                 agg.kernel_stats.repair_rows += row.stats.kernel_stats.repair_rows;
+                agg.scan_kernel = row.stats.scan_kernel;
+                agg.scan_chunks_scanned += row.stats.scan_chunks_scanned;
+                agg.scan_chunks_skipped += row.stats.scan_chunks_skipped;
+                agg.scan_pairs_pruned += row.stats.scan_pairs_pruned;
+                agg.arena.u16_rows = agg.arena.u16_rows.max(row.stats.arena.u16_rows);
+                agg.arena.u32_rows = agg.arena.u32_rows.max(row.stats.arena.u32_rows);
+                agg.arena.reused_rows += row.stats.arena.reused_rows;
+                agg.arena.slab_bytes = agg.arena.slab_bytes.max(row.stats.arena.slab_bytes);
                 cells.push(pct(row.coverage));
             }
             rows.push(cells);
@@ -145,6 +153,18 @@ fn main() {
                 agg.repair_frontier_nodes as f64 / agg.repaired_rows.max(1) as f64
             ),
             format!("{}", agg.cache_bytes / 1024),
+            agg.scan_kernel.name().to_string(),
+            format!(
+                "{}/{}/{}",
+                agg.scan_chunks_scanned, agg.scan_chunks_skipped, agg.scan_pairs_pruned
+            ),
+            format!(
+                "{}/{}/{}/{}",
+                agg.arena.u16_rows,
+                agg.arena.u32_rows,
+                agg.arena.reused_rows,
+                agg.arena.slab_bytes / 1024
+            ),
             format!("{:.3}", agg.selector_secs),
             format!("{:.3}", agg.prefetch_secs),
             format!("{:.3}", agg.scan_secs),
@@ -179,6 +199,9 @@ fn main() {
             "cache miss",
             "repaired/region",
             "cache KiB",
+            "scan kern",
+            "chunks scan/skip/pruned",
+            "arena u16/u32/reuse/KiB",
             "select s",
             "prefetch s",
             "scan s",

@@ -32,6 +32,14 @@
 //! `crates/core/tests/conformance.rs`); only the timing differs, which is
 //! what this baseline records.
 //!
+//! **Phase 3 — Δ-scan ladder** on the evaluation snapshots: a
+//! deliberately scan-heavy pipeline (Degree selector at a budget of
+//! `n / 4` candidates) runs with `CP_SCAN_KERNEL` scalar vs auto, best of
+//! [`REPEATS`] on `scan_secs`. `scan_speedup` compares the reference
+//! per-element loop against the blocked kernel (u16-packed rows,
+//! chunk skipping, rising Δ floor) on the `M × V` scan it rewrites;
+//! chunk/prune counters and row-arena occupancy ride along.
+//!
 //! Per sweep, three timings: `secs` (whole suite, end to end),
 //! `sssp_secs` (the oracle's distance-row computation, the path the
 //! kernels own), and `sssp_t2_secs` (its `G_t2` share, per-item summed —
@@ -47,6 +55,7 @@
 use cp_bench::{scaled_budget, Options};
 use cp_core::exact::TopKSpec;
 use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle};
+use cp_core::scan::ScanKernel;
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, PipelineStats};
 use cp_gen::datasets::{DatasetKind, DatasetProfile, EVAL_SNAPSHOTS};
@@ -129,6 +138,51 @@ struct RepairSummary {
     avg_frontier: f64,
 }
 
+/// Timing of one (dataset, scan kernel) Δ-scan sweep (phase 3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScanSweep {
+    dataset: String,
+    /// The Δ-scan kernel (`"scalar"` = reference per-element loop).
+    scan_kernel: String,
+    /// Fully paid candidate endpoints `|M|` (identical across kernels).
+    candidates: usize,
+    /// Pairs found (identical across kernels — conformance-tested).
+    pairs: usize,
+    /// Best-of-repeats `M × V` scan seconds.
+    scan_secs: f64,
+    /// Chunks whose elements were walked (blocked kernel; 0 for scalar).
+    scan_chunks_scanned: u64,
+    /// Chunks skipped whole below the shared Δ floor.
+    scan_chunks_skipped: u64,
+    /// Individual Δ ≥ 1 values pruned below the floor inside scanned
+    /// chunks.
+    scan_pairs_pruned: u64,
+    /// Live `u16`-packed rows in the oracle's arena after the run.
+    arena_u16_rows: u64,
+    /// Live full-width rows after the run (weighted snapshots only).
+    arena_u32_rows: u64,
+    /// Arena slot allocations served from the free list.
+    arena_reused_rows: u64,
+    /// Slab bytes held by the arenas.
+    arena_slab_bytes: u64,
+}
+
+/// Per-dataset Δ-scan kernel comparison (phase 3).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ScanSummary {
+    dataset: String,
+    /// Candidate budget of the scan-heavy pipeline (`n / 4`).
+    m_scan: u64,
+    /// Best scalar-kernel scan seconds.
+    scalar_scan_secs: f64,
+    /// Best blocked-kernel scan seconds.
+    auto_scan_secs: f64,
+    /// `scalar_scan_secs / auto_scan_secs`.
+    scan_speedup: f64,
+    /// Fraction of chunks the blocked kernel skipped whole.
+    chunks_skipped_frac: f64,
+}
+
 /// The written baseline document.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct Baseline {
@@ -143,6 +197,8 @@ struct Baseline {
     sweeps: Vec<SweepTiming>,
     datasets: Vec<DatasetSummary>,
     repair: Vec<RepairSummary>,
+    scan_ladder: Vec<ScanSweep>,
+    scan: Vec<ScanSummary>,
     /// Suite totals: scalar kernel, one thread, cache off (eval pair).
     scalar_single_secs: f64,
     /// Suite totals: optimized kernel, one thread, cache off (eval pair).
@@ -158,6 +214,11 @@ struct Baseline {
     /// The best per-dataset `repair_speedup` — the repair win on the
     /// dataset whose delta structure suits it best.
     repair_speedup_max: f64,
+    /// Δ-scan speedup of the blocked kernel over the reference loop on
+    /// the scan-heavy pipeline, summed over datasets (phase 3).
+    scan_speedup: f64,
+    /// The best per-dataset `scan_speedup`.
+    scan_speedup_max: f64,
     /// End-to-end speedup of the optimized parallel configuration over
     /// the scalar single-thread baseline.
     total_speedup: f64,
@@ -243,6 +304,28 @@ fn best_of<F: FnMut() -> SuiteRun, M: Fn(&SuiteRun) -> f64>(mut run: F, metric: 
     best.expect("REPEATS >= 1")
 }
 
+/// One scan-heavy pipeline run (phase 3): Degree selector at a `n / 4`
+/// candidate budget, unbounded row cache, one thread, the given Δ-scan
+/// kernel. Returns the stats plus the candidate/pair counts (identical
+/// across kernels).
+fn run_scan_heavy(
+    g1: &Graph,
+    g2: &Graph,
+    m_scan: u64,
+    spec: &TopKSpec,
+    seed: u64,
+    scan: ScanKernel,
+) -> (PipelineStats, usize, usize) {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m_scan)
+        .with_threads(1)
+        .with_kernel(BfsKernel::Auto)
+        .with_row_cache(RowCacheBudget::Unbounded)
+        .with_scan_kernel(scan);
+    let mut sel = SelectorKind::Degree.build(seed);
+    let res = run_pipeline(&mut oracle, sel.as_mut(), spec);
+    (res.stats, res.candidates.len(), res.pairs.len())
+}
+
 fn main() {
     let opts = Options::from_env();
     let threads_multi = opts.threads.max(2);
@@ -267,10 +350,14 @@ fn main() {
     let mut sweeps: Vec<SweepTiming> = Vec::new();
     let mut datasets: Vec<DatasetSummary> = Vec::new();
     let mut repair: Vec<RepairSummary> = Vec::new();
+    let mut scan_ladder: Vec<ScanSweep> = Vec::new();
+    let mut scan: Vec<ScanSummary> = Vec::new();
     let mut totals = [0.0f64; 4];
     let mut sssp_totals = [0.0f64; 2]; // [scalar@1, auto@1] cache-off
     let mut t2_totals = [0.0f64; 2]; // phase 2: [cache-off, cache-on]
+    let mut scan_totals = [0.0f64; 2]; // phase 3: [scalar scan, auto scan]
     let mut repair_speedup_max = 0.0f64;
+    let mut scan_speedup_max = 0.0f64;
 
     for kind in DatasetKind::ALL {
         let t = DatasetProfile::scaled(kind, opts.scale).generate(opts.seed);
@@ -397,6 +484,77 @@ fn main() {
             repaired_rows: on.repaired_rows,
             avg_frontier: on.repair_frontier_nodes as f64 / on.repaired_rows.max(1) as f64,
         });
+
+        // ---- Phase 3: Δ-scan ladder on the evaluation snapshots ----
+        let m_scan = (g1.num_nodes() as u64 / 4).max(m);
+        let mut per_kernel_scan = [0.0f64; 2];
+        let mut skipped_frac = 0.0f64;
+        for (i, sk) in [ScanKernel::Scalar, ScanKernel::Auto]
+            .into_iter()
+            .enumerate()
+        {
+            let mut best: Option<(PipelineStats, usize, usize)> = None;
+            for _ in 0..REPEATS {
+                let r = run_scan_heavy(&g1, &g2, m_scan, &spec, opts.seed, sk);
+                if best
+                    .as_ref()
+                    .map_or(true, |b| r.0.scan_secs < b.0.scan_secs)
+                {
+                    best = Some(r);
+                }
+            }
+            let (stats, candidates, pairs) = best.expect("REPEATS >= 1");
+            eprintln!(
+                "  {name} scan [{}] |M|={candidates}: {:.4}s scan ({} pairs, chunks \
+                 {}/{} scanned/skipped, {} pruned; arena {}x u16 + {}x u32 rows)",
+                sk.name(),
+                stats.scan_secs,
+                pairs,
+                stats.scan_chunks_scanned,
+                stats.scan_chunks_skipped,
+                stats.scan_pairs_pruned,
+                stats.arena.u16_rows,
+                stats.arena.u32_rows,
+            );
+            per_kernel_scan[i] = stats.scan_secs;
+            let total_chunks = stats.scan_chunks_scanned + stats.scan_chunks_skipped;
+            if sk == ScanKernel::Auto {
+                skipped_frac = stats.scan_chunks_skipped as f64 / (total_chunks.max(1)) as f64;
+            }
+            scan_ladder.push(ScanSweep {
+                dataset: name.to_string(),
+                scan_kernel: sk.name().to_string(),
+                candidates,
+                pairs,
+                scan_secs: stats.scan_secs,
+                scan_chunks_scanned: stats.scan_chunks_scanned,
+                scan_chunks_skipped: stats.scan_chunks_skipped,
+                scan_pairs_pruned: stats.scan_pairs_pruned,
+                arena_u16_rows: stats.arena.u16_rows,
+                arena_u32_rows: stats.arena.u32_rows,
+                arena_reused_rows: stats.arena.reused_rows,
+                arena_slab_bytes: stats.arena.slab_bytes,
+            });
+        }
+        let scan_speedup = per_kernel_scan[0] / per_kernel_scan[1].max(f64::MIN_POSITIVE);
+        eprintln!(
+            "  {name} scan ladder: {:.4}s scalar vs {:.4}s auto — {scan_speedup:.2}x scan \
+             ({:.0}% chunks skipped)",
+            per_kernel_scan[0],
+            per_kernel_scan[1],
+            skipped_frac * 100.0,
+        );
+        scan_totals[0] += per_kernel_scan[0];
+        scan_totals[1] += per_kernel_scan[1];
+        scan_speedup_max = scan_speedup_max.max(scan_speedup);
+        scan.push(ScanSummary {
+            dataset: name.to_string(),
+            m_scan,
+            scalar_scan_secs: per_kernel_scan[0],
+            auto_scan_secs: per_kernel_scan[1],
+            scan_speedup,
+            chunks_skipped_frac: skipped_frac,
+        });
     }
 
     let baseline = Baseline {
@@ -410,12 +568,16 @@ fn main() {
         sweeps,
         datasets,
         repair,
+        scan_ladder,
+        scan,
         scalar_single_secs: totals[SLOT_SCALAR],
         optimized_single_secs: totals[SLOT_AUTO],
         multi_thread_secs: totals[SLOT_MULTI],
         kernel_speedup: sssp_totals[0] / sssp_totals[1].max(f64::MIN_POSITIVE),
         repair_speedup: t2_totals[0] / t2_totals[1].max(f64::MIN_POSITIVE),
         repair_speedup_max,
+        scan_speedup: scan_totals[0] / scan_totals[1].max(f64::MIN_POSITIVE),
+        scan_speedup_max,
         total_speedup: totals[SLOT_SCALAR] / totals[SLOT_MULTI].max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -424,6 +586,7 @@ fn main() {
     eprintln!(
         "wrote {out}: sssp path {:.3}s scalar vs {:.3}s optimized single-thread ({:.2}x \
          kernel); incremental t2 path {:.4}s repair-off vs {:.4}s repair-on ({:.2}x repair, \
+         best dataset {:.2}x); Δ-scan path {:.4}s scalar vs {:.4}s blocked ({:.2}x scan, \
          best dataset {:.2}x); suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads \
          ({:.2}x total)",
         sssp_totals[0],
@@ -433,6 +596,10 @@ fn main() {
         t2_totals[1],
         baseline.repair_speedup,
         baseline.repair_speedup_max,
+        scan_totals[0],
+        scan_totals[1],
+        baseline.scan_speedup,
+        baseline.scan_speedup_max,
         baseline.scalar_single_secs,
         baseline.optimized_single_secs,
         baseline.multi_thread_secs,

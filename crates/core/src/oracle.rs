@@ -29,11 +29,15 @@
 //! waves but still charge one SSSP each: the paper's cost model counts
 //! rows, not how cleverly they were produced.
 
+use crate::scan::ScanKernel;
 use cp_graph::bfs::{bfs_into, bfs_scalar_into, BfsWorkspace};
 use cp_graph::dijkstra::dijkstra_into;
 use cp_graph::msbfs::{msbfs_into, MsBfsWorkspace, WAVE_WIDTH};
 use cp_graph::repair::{
     bfs_repair_into, dijkstra_repair_into, snapshot_delta, RepairWorkspace, SnapshotDelta,
+};
+use cp_graph::rowpack::{
+    fits_u16, pack_u16_into, pack_u16_slice, widen_u16_into, RowArena, RowId, RowRef,
 };
 use cp_graph::{Graph, NodeId};
 use serde::{Deserialize, Serialize};
@@ -113,11 +117,13 @@ pub enum RowCacheBudget {
     /// donor and nothing is ever recomputed.
     #[default]
     Unbounded,
-    /// Hold at most this many row-payload bytes (4 bytes per node per
-    /// row), evicting least-recently-used rows beyond the
-    /// [`ROW_PIN_COUNT`] most recent. `Bytes(0)` additionally disables
-    /// snapshot-delta repair entirely — the pre-cache compute path, used
-    /// by A/B runs and the conformance suite.
+    /// Hold at most this many row-payload bytes at the *packed* width —
+    /// 2 bytes per node for `u16`-packed unweighted rows, 4 for `u32`
+    /// rows, so packing fits about twice the rows in the same budget —
+    /// evicting least-recently-used rows beyond the [`ROW_PIN_COUNT`]
+    /// most recent. `Bytes(0)` additionally disables snapshot-delta
+    /// repair entirely — the pre-cache compute path, used by A/B runs and
+    /// the conformance suite.
     Bytes(usize),
 }
 
@@ -266,14 +272,26 @@ pub struct NodePrefetchReport {
     pub rows: PrefetchReport,
 }
 
+/// A resident row's arena slot, tagged with its storage width.
+enum RowSlot {
+    /// `u16`-packed row in the compact arena (unweighted snapshots on a
+    /// `u16`-sized node universe).
+    U16(RowId),
+    /// Full-width row (weighted Dijkstra rows, or universes beyond `u16`).
+    U32(RowId),
+}
+
 /// One resident row with its LRU recency stamp.
 struct CacheEntry {
-    row: Vec<u32>,
+    slot: RowSlot,
     tick: u64,
 }
 
 /// The paid/resident row store behind the oracle (see the module docs for
-/// the paid-vs-resident split). All mutation happens on the oracle's
+/// the paid-vs-resident split). Row bytes live in pooled slab arenas —
+/// `u16`-packed where the snapshot allows it, so a byte budget fits about
+/// twice the rows — and eviction recycles slots through the arenas' free
+/// lists instead of reallocating. All mutation happens on the oracle's
 /// single-threaded control path, so recency stamps — and therefore
 /// evictions — are deterministic at any worker-thread count.
 struct RowCache {
@@ -284,6 +302,12 @@ struct RowCache {
     bytes: usize,
     tick: u64,
     evictions: u64,
+    arena16: RowArena<u16>,
+    arena32: RowArena<u32>,
+    /// Whether each snapshot's rows pack to `u16` (decided once at
+    /// construction from weightedness and universe size).
+    pack1: bool,
+    pack2: bool,
 }
 
 fn cache_key(which: Snapshot, u: NodeId) -> u64 {
@@ -295,7 +319,7 @@ fn cache_key(which: Snapshot, u: NodeId) -> u64 {
 }
 
 impl RowCache {
-    fn new(budget: RowCacheBudget) -> Self {
+    fn new(budget: RowCacheBudget, row_len: usize, pack1: bool, pack2: bool) -> Self {
         RowCache {
             budget,
             resident: HashMap::new(),
@@ -304,6 +328,10 @@ impl RowCache {
             bytes: 0,
             tick: 0,
             evictions: 0,
+            arena16: RowArena::new(row_len),
+            arena32: RowArena::new(row_len),
+            pack1,
+            pack2,
         }
     }
 
@@ -321,10 +349,26 @@ impl RowCache {
         };
     }
 
-    fn get(&self, which: Snapshot, u: NodeId) -> Option<&[u32]> {
+    /// Whether this snapshot's rows are stored `u16`-packed.
+    fn packs(&self, which: Snapshot) -> bool {
+        match which {
+            Snapshot::First => self.pack1,
+            Snapshot::Second => self.pack2,
+        }
+    }
+
+    fn is_resident(&self, which: Snapshot, u: NodeId) -> bool {
+        self.resident.contains_key(&cache_key(which, u))
+    }
+
+    /// The resident row at its storage width, if present.
+    fn get_ref(&self, which: Snapshot, u: NodeId) -> Option<RowRef<'_>> {
         self.resident
             .get(&cache_key(which, u))
-            .map(|e| e.row.as_slice())
+            .map(|e| match e.slot {
+                RowSlot::U16(id) => RowRef::U16(self.arena16.row(id)),
+                RowSlot::U32(id) => RowRef::U32(self.arena32.row(id)),
+            })
     }
 
     /// Bumps the recency of a resident row; `false` if it was evicted.
@@ -340,36 +384,67 @@ impl RowCache {
         }
     }
 
+    /// Packs a computed row into an arena slot (recycling freed slots) and
+    /// makes it resident.
     fn insert(&mut self, which: Snapshot, u: NodeId, row: Vec<u32>) {
         self.tick += 1;
-        let bytes = row.len() * std::mem::size_of::<u32>();
-        if let Some(old) = self.resident.insert(
-            cache_key(which, u),
+        let key = cache_key(which, u);
+        if let Some(old) = self.resident.remove(&key) {
+            self.release_slot(old.slot);
+        }
+        let slot = if self.packs(which) {
+            let id = self.arena16.alloc();
+            pack_u16_slice(&row, self.arena16.row_mut(id));
+            self.bytes += self.arena16.row_bytes();
+            RowSlot::U16(id)
+        } else {
+            let id = self.arena32.alloc();
+            self.arena32.row_mut(id).copy_from_slice(&row);
+            self.bytes += self.arena32.row_bytes();
+            RowSlot::U32(id)
+        };
+        self.resident.insert(
+            key,
             CacheEntry {
-                row,
+                slot,
                 tick: self.tick,
             },
-        ) {
-            self.bytes -= old.row.len() * std::mem::size_of::<u32>();
-        }
-        self.bytes += bytes;
+        );
         self.enforce();
+    }
+
+    /// Returns a slot to its arena's free list and settles the byte
+    /// accounting (at the packed width).
+    fn release_slot(&mut self, slot: RowSlot) {
+        match slot {
+            RowSlot::U16(id) => {
+                self.bytes -= self.arena16.row_bytes();
+                self.arena16.release(id);
+            }
+            RowSlot::U32(id) => {
+                self.bytes -= self.arena32.row_bytes();
+                self.arena32.release(id);
+            }
+        }
     }
 
     fn remove(&mut self, which: Snapshot, u: NodeId) {
         if let Some(e) = self.resident.remove(&cache_key(which, u)) {
-            self.bytes -= e.row.len() * std::mem::size_of::<u32>();
+            self.release_slot(e.slot);
         }
     }
 
     fn clear_resident(&mut self) {
         self.resident.clear();
+        self.arena16.clear();
+        self.arena32.clear();
         self.bytes = 0;
     }
 
     /// Evicts least-recently-used rows until the byte budget holds, always
     /// keeping the [`ROW_PIN_COUNT`] most recent (so borrows handed out by
-    /// the current call remain valid even under `Bytes(0)`).
+    /// the current call remain valid even under `Bytes(0)`). Evicted slots
+    /// go back to the arena free lists for the next insert to reuse.
     fn enforce(&mut self) {
         let cap = match self.budget {
             RowCacheBudget::Unbounded => return,
@@ -383,7 +458,7 @@ impl RowCache {
                 .map(|(&k, _)| k)
                 .expect("non-empty cache");
             let e = self.resident.remove(&victim).expect("victim resident");
-            self.bytes -= e.row.len() * std::mem::size_of::<u32>();
+            self.release_slot(e.slot);
             self.evictions += 1;
         }
     }
@@ -393,14 +468,32 @@ impl RowCache {
     }
 }
 
-/// Thread-private scratch for [`SnapshotOracle::read_rows`]: buffers a
-/// recomputed row per snapshot plus a BFS workspace, so shared-`&self`
-/// readers (the Δ scan workers) can resolve evicted rows without touching
-/// the oracle.
+/// Occupancy counters of the row cache's slab arenas.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaStats {
+    /// Live `u16`-packed rows.
+    pub u16_rows: u64,
+    /// Live full-width `u32` rows.
+    pub u32_rows: u64,
+    /// Slot allocations served from the free lists (eviction/refill
+    /// traffic that reused warm slabs instead of growing them).
+    pub reused_rows: u64,
+    /// Bytes of slab capacity held across both arenas (live and free
+    /// slots alike).
+    pub slab_bytes: u64,
+}
+
+/// Thread-private scratch for [`SnapshotOracle::read_rows`] and
+/// [`SnapshotOracle::read_rows_packed`]: buffers a recomputed row per
+/// snapshot (plus its `u16`-packed form and a BFS workspace), so
+/// shared-`&self` readers (the Δ scan workers) can resolve evicted rows
+/// without touching the oracle.
 #[derive(Default)]
 pub struct RowScratch {
     d1: Vec<u32>,
     d2: Vec<u32>,
+    p1: Vec<u16>,
+    p2: Vec<u16>,
     ws: BfsWorkspace,
 }
 
@@ -444,8 +537,13 @@ pub struct SnapshotOracle<'a> {
     ws: BfsWorkspace,
     msws: MsBfsWorkspace,
     rws: RepairWorkspace,
+    /// Widening buffers for the `u32` row API over `u16`-packed residents
+    /// (one per snapshot so [`Self::rows`] can return both at once).
+    wide1: Vec<u32>,
+    wide2: Vec<u32>,
     threads: usize,
     kernel: BfsKernel,
+    scan_kernel: ScanKernel,
     kstats: KernelStats,
     sssp_secs: f64,
     sssp_t2_secs: f64,
@@ -481,13 +579,21 @@ impl<'a> SnapshotOracle<'a> {
             limit,
             phase: Phase::Generation,
             ledger: BudgetLedger::default(),
-            cache: RowCache::new(RowCacheBudget::from_env()),
+            cache: RowCache::new(
+                RowCacheBudget::from_env(),
+                g1.num_nodes(),
+                fits_u16(g1),
+                fits_u16(g2),
+            ),
             delta: None,
             ws: BfsWorkspace::new(),
             msws: MsBfsWorkspace::new(),
             rws: RepairWorkspace::new(),
+            wide1: Vec::new(),
+            wide2: Vec::new(),
             threads: threads_from_env(),
             kernel: BfsKernel::from_env(),
+            scan_kernel: ScanKernel::from_env(),
             kstats: KernelStats::default(),
             sssp_secs: 0.0,
             sssp_t2_secs: 0.0,
@@ -531,6 +637,41 @@ impl<'a> SnapshotOracle<'a> {
     /// The configured kernel.
     pub fn kernel(&self) -> BfsKernel {
         self.kernel
+    }
+
+    /// Sets the Δ-scan kernel (builder style). Kernel choice never changes
+    /// results — only wall clock (see [`ScanKernel`]).
+    pub fn with_scan_kernel(mut self, kernel: ScanKernel) -> Self {
+        self.scan_kernel = kernel;
+        self
+    }
+
+    /// Sets the Δ-scan kernel.
+    pub fn set_scan_kernel(&mut self, kernel: ScanKernel) {
+        self.scan_kernel = kernel;
+    }
+
+    /// The configured Δ-scan kernel.
+    pub fn scan_kernel(&self) -> ScanKernel {
+        self.scan_kernel
+    }
+
+    /// Whether the chosen snapshot's rows are stored `u16`-packed (half
+    /// the bytes of the canonical `u32` rows). Decided once at
+    /// construction: unit weights and a node universe that keeps every
+    /// finite distance below the `u16` sentinel.
+    pub fn row_packed(&self, which: Snapshot) -> bool {
+        self.cache.packs(which)
+    }
+
+    /// Occupancy counters of the row cache's slab arenas.
+    pub fn arena_stats(&self) -> ArenaStats {
+        ArenaStats {
+            u16_rows: self.cache.arena16.live_rows(),
+            u32_rows: self.cache.arena32.live_rows(),
+            reused_rows: self.cache.arena16.reused_rows() + self.cache.arena32.reused_rows(),
+            slab_bytes: self.cache.arena16.slab_bytes() + self.cache.arena32.slab_bytes(),
+        }
     }
 
     /// Sets the resident-row byte budget (builder style). Cache size never
@@ -723,7 +864,16 @@ impl<'a> SnapshotOracle<'a> {
         let mut settled = None;
         if which == Snapshot::Second && self.repair_ready() {
             let delta = self.delta.as_ref().expect("repair_ready computed it");
-            if let Some(t1) = self.cache.get(Snapshot::First, u) {
+            let mut donor_wide = Vec::new();
+            let t1: Option<&[u32]> = match self.cache.get_ref(Snapshot::First, u) {
+                Some(RowRef::U32(r)) => Some(r),
+                Some(RowRef::U16(p)) => {
+                    widen_u16_into(p, &mut donor_wide);
+                    Some(donor_wide.as_slice())
+                }
+                None => None,
+            };
+            if let Some(t1) = t1 {
                 settled = Some(if graph.is_weighted() {
                     dijkstra_repair_into(graph, t1, &delta.inserted, &mut dist, &mut self.rws)
                 } else {
@@ -764,10 +914,8 @@ impl<'a> SnapshotOracle<'a> {
         dist
     }
 
-    /// The distance row of `u` in the chosen snapshot, computing (and
-    /// charging) it on first use. Paid rows are free forever — if their
-    /// bytes were evicted they are recomputed without touching the ledger.
-    pub fn row(&mut self, which: Snapshot, u: NodeId) -> Result<&[u32], BudgetError> {
+    /// Makes the row of `u` paid and resident, charging it on first use.
+    fn ensure_row(&mut self, which: Snapshot, u: NodeId) -> Result<(), BudgetError> {
         if self.cache.is_paid(which, u) {
             self.cache_hits += 1;
             if !self.cache.touch(which, u) {
@@ -782,63 +930,175 @@ impl<'a> SnapshotOracle<'a> {
             self.cache.mark_paid(which, u);
             self.cache.insert(which, u, dist);
         }
-        Ok(self.cache.get(which, u).expect("row just made resident"))
+        Ok(())
+    }
+
+    /// The distance row of `u` in the chosen snapshot, computing (and
+    /// charging) it on first use. Paid rows are free forever — if their
+    /// bytes were evicted they are recomputed without touching the ledger.
+    /// `u16`-packed residents are widened into an oracle-owned buffer, so
+    /// callers always see canonical `u32` distances.
+    pub fn row(&mut self, which: Snapshot, u: NodeId) -> Result<&[u32], BudgetError> {
+        self.ensure_row(which, u)?;
+        let wide = match which {
+            Snapshot::First => &mut self.wide1,
+            Snapshot::Second => &mut self.wide2,
+        };
+        Ok(
+            match self
+                .cache
+                .get_ref(which, u)
+                .expect("row just made resident")
+            {
+                RowRef::U32(r) => r,
+                RowRef::U16(p) => {
+                    widen_u16_into(p, wide);
+                    wide.as_slice()
+                }
+            },
+        )
     }
 
     /// Both rows of `u` at once (for Δ computation). The returned pair is
     /// protected from eviction by the LRU's recency pin.
     pub fn rows(&mut self, u: NodeId) -> Result<(&[u32], &[u32]), BudgetError> {
-        self.row(Snapshot::First, u)?;
-        self.row(Snapshot::Second, u)?;
-        Ok((
-            self.cache.get(Snapshot::First, u).expect("pinned"),
-            self.cache.get(Snapshot::Second, u).expect("pinned"),
-        ))
+        self.ensure_row(Snapshot::First, u)?;
+        self.ensure_row(Snapshot::Second, u)?;
+        let SnapshotOracle {
+            cache,
+            wide1,
+            wide2,
+            ..
+        } = self;
+        let r1 = match cache.get_ref(Snapshot::First, u).expect("pinned") {
+            RowRef::U32(r) => r,
+            RowRef::U16(p) => {
+                widen_u16_into(p, wide1);
+                wide1.as_slice()
+            }
+        };
+        let r2 = match cache.get_ref(Snapshot::Second, u).expect("pinned") {
+            RowRef::U32(r) => r,
+            RowRef::U16(p) => {
+                widen_u16_into(p, wide2);
+                wide2.as_slice()
+            }
+        };
+        Ok((r1, r2))
     }
 
-    /// The *resident* row of `u` in the chosen snapshot, if present. Never
-    /// computes or charges; safe to call from parallel readers via `&self`.
-    /// Under a bounded [`RowCacheBudget`] a paid row may be absent — use
-    /// [`Self::read_rows`] for eviction-safe shared reads.
-    pub fn cached_row(&self, which: Snapshot, u: NodeId) -> Option<&[u32]> {
-        self.cache.get(which, u)
+    /// The *resident* row of `u` in the chosen snapshot at its storage
+    /// width, if present. Never computes or charges; safe to call from
+    /// parallel readers via `&self`. Under a bounded [`RowCacheBudget`] a
+    /// paid row may be absent — use [`Self::read_rows`] for eviction-safe
+    /// shared reads.
+    pub fn cached_row(&self, which: Snapshot, u: NodeId) -> Option<RowRef<'_>> {
+        self.cache.get_ref(which, u)
     }
 
     /// Both resident rows of `u`, if both are present. Never computes or
     /// charges.
-    pub fn cached_rows(&self, u: NodeId) -> Option<(&[u32], &[u32])> {
+    pub fn cached_rows(&self, u: NodeId) -> Option<(RowRef<'_>, RowRef<'_>)> {
         Some((
-            self.cache.get(Snapshot::First, u)?,
-            self.cache.get(Snapshot::Second, u)?,
+            self.cache.get_ref(Snapshot::First, u)?,
+            self.cache.get_ref(Snapshot::Second, u)?,
         ))
     }
 
     /// Eviction-safe shared read of both rows of `u`: resident rows are
-    /// returned directly, evicted ones are recomputed into the caller's
-    /// [`RowScratch`]. Never charges and never mutates the oracle — the Δ
-    /// scan workers call this via `&self`. Rows are uniquely determined by
-    /// the graphs, so a recomputed row is bit-identical to the original;
-    /// recomputation time here surfaces in the caller's phase timing (the
-    /// scan), not in [`Self::sssp_secs`].
+    /// returned directly (widened into the caller's scratch when
+    /// `u16`-packed), evicted ones are recomputed into the caller's
+    /// [`RowScratch`]. Never charges and never mutates the oracle — the
+    /// landmark probes call this via `&self`. Rows are uniquely determined
+    /// by the graphs, so a recomputed row is bit-identical to the
+    /// original; recomputation time here surfaces in the caller's phase
+    /// timing, not in [`Self::sssp_secs`].
     pub fn read_rows<'s>(
         &'s self,
         u: NodeId,
         scratch: &'s mut RowScratch,
     ) -> (&'s [u32], &'s [u32]) {
-        let RowScratch { d1, d2, ws } = scratch;
-        let r1 = match self.cache.get(Snapshot::First, u) {
-            Some(r) => r,
+        let RowScratch { d1, d2, ws, .. } = scratch;
+        let r1 = match self.cache.get_ref(Snapshot::First, u) {
+            Some(RowRef::U32(r)) => r,
+            Some(RowRef::U16(p)) => {
+                widen_u16_into(p, d1);
+                d1.as_slice()
+            }
             None => {
                 compute_row_fresh(self.g1, self.kernel, u, d1, ws);
                 d1.as_slice()
             }
         };
-        let r2 = match self.cache.get(Snapshot::Second, u) {
-            Some(r) => r,
+        let r2 = match self.cache.get_ref(Snapshot::Second, u) {
+            Some(RowRef::U32(r)) => r,
+            Some(RowRef::U16(p)) => {
+                widen_u16_into(p, d2);
+                d2.as_slice()
+            }
             None => {
                 compute_row_fresh(self.g2, self.kernel, u, d2, ws);
                 d2.as_slice()
             }
+        };
+        (r1, r2)
+    }
+
+    /// Eviction-safe shared read of both rows of `u` at their *storage*
+    /// width — the Δ-scan entry point. Resident rows are returned
+    /// directly from the arena; evicted ones are recomputed into the
+    /// caller's [`RowScratch`] and packed to the snapshot's width, so the
+    /// scan kernel sees the same representation whether or not a row was
+    /// resident. A mixed-width pair (one snapshot packed, the other not)
+    /// is normalized to `u32` on both sides. Never charges and never
+    /// mutates the oracle.
+    pub fn read_rows_packed<'s>(
+        &'s self,
+        u: NodeId,
+        scratch: &'s mut RowScratch,
+    ) -> (RowRef<'s>, RowRef<'s>) {
+        let RowScratch { d1, d2, p1, p2, ws } = scratch;
+        let have1 = self.cache.is_resident(Snapshot::First, u);
+        let have2 = self.cache.is_resident(Snapshot::Second, u);
+        let (k1, k2) = (self.cache.pack1, self.cache.pack2);
+        let mixed = k1 != k2;
+        if !have1 {
+            compute_row_fresh(self.g1, self.kernel, u, d1, ws);
+            if k1 && !mixed {
+                pack_u16_into(d1, p1);
+            }
+        }
+        if !have2 {
+            compute_row_fresh(self.g2, self.kernel, u, d2, ws);
+            if k2 && !mixed {
+                pack_u16_into(d2, p2);
+            }
+        }
+        if mixed {
+            if have1 && k1 {
+                if let Some(RowRef::U16(p)) = self.cache.get_ref(Snapshot::First, u) {
+                    widen_u16_into(p, d1);
+                }
+            }
+            if have2 && k2 {
+                if let Some(RowRef::U16(p)) = self.cache.get_ref(Snapshot::Second, u) {
+                    widen_u16_into(p, d2);
+                }
+            }
+        }
+        let r1 = if have1 && !(mixed && k1) {
+            self.cache.get_ref(Snapshot::First, u).expect("resident")
+        } else if k1 && !mixed {
+            RowRef::U16(p1)
+        } else {
+            RowRef::U32(d1)
+        };
+        let r2 = if have2 && !(mixed && k2) {
+            self.cache.get_ref(Snapshot::Second, u).expect("resident")
+        } else if k2 && !mixed {
+            RowRef::U16(p2)
+        } else {
+            RowRef::U32(d2)
         };
         (r1, r2)
     }
@@ -953,7 +1213,7 @@ impl<'a> SnapshotOracle<'a> {
         type Jobs = Vec<(Snapshot, u32)>;
         let (repairable, full): (Jobs, Jobs) = jobs.iter().copied().partition(|&(which, u)| {
             which == Snapshot::Second
-                && (planned1.contains(&u) || self.cache.get(Snapshot::First, NodeId(u)).is_some())
+                && (planned1.contains(&u) || self.cache.is_resident(Snapshot::First, NodeId(u)))
         });
         self.compute_full_jobs(&full);
         self.compute_repair_jobs(&repairable);
@@ -1051,55 +1311,59 @@ impl<'a> SnapshotOracle<'a> {
         let started = std::time::Instant::now();
         let delta = self.delta.as_ref().expect("repair pass needs the delta");
         let cache = &self.cache;
-        let donors: Vec<Option<&[u32]>> = jobs
+        let donors: Vec<Option<RowRef<'_>>> = jobs
             .iter()
-            .map(|&(_, u)| cache.get(Snapshot::First, NodeId(u)))
+            .map(|&(_, u)| cache.get_ref(Snapshot::First, NodeId(u)))
             .collect();
         let g2 = self.g2;
         let kernel = self.kernel;
         let threads = self.threads.min(jobs.len()).max(1);
-        let computed: Vec<(Vec<u32>, Option<usize>, f64)> = if threads == 1
-            || jobs.len() < PARALLEL_ROW_CUTOFF
-        {
-            let ws = &mut self.ws;
-            let rws = &mut self.rws;
-            jobs.iter()
-                .zip(&donors)
-                .map(|(&(_, u), &donor)| repair_item(g2, kernel, NodeId(u), donor, delta, ws, rws))
-                .collect()
-        } else {
-            type RepairSlot = parking_lot::Mutex<(Vec<u32>, Option<usize>, f64)>;
-            let slots: Vec<RepairSlot> = (0..jobs.len())
-                .map(|_| parking_lot::Mutex::new((Vec::new(), None, 0.0)))
-                .collect();
-            let cursor = AtomicUsize::new(0);
-            let donors = &donors;
-            crossbeam::thread::scope(|scope| {
-                for _ in 0..threads {
-                    scope.spawn(|_| {
-                        let mut ws = BfsWorkspace::new();
-                        let mut rws = RepairWorkspace::new();
-                        loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            if i >= jobs.len() {
-                                break;
+        let computed: Vec<(Vec<u32>, Option<usize>, f64)> =
+            if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
+                let ws = &mut self.ws;
+                let rws = &mut self.rws;
+                let mut wide = Vec::new();
+                jobs.iter()
+                    .zip(&donors)
+                    .map(|(&(_, u), &donor)| {
+                        repair_item(g2, kernel, NodeId(u), donor, delta, ws, rws, &mut wide)
+                    })
+                    .collect()
+            } else {
+                type RepairSlot = parking_lot::Mutex<(Vec<u32>, Option<usize>, f64)>;
+                let slots: Vec<RepairSlot> = (0..jobs.len())
+                    .map(|_| parking_lot::Mutex::new((Vec::new(), None, 0.0)))
+                    .collect();
+                let cursor = AtomicUsize::new(0);
+                let donors = &donors;
+                crossbeam::thread::scope(|scope| {
+                    for _ in 0..threads {
+                        scope.spawn(|_| {
+                            let mut ws = BfsWorkspace::new();
+                            let mut rws = RepairWorkspace::new();
+                            let mut wide = Vec::new();
+                            loop {
+                                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                                if i >= jobs.len() {
+                                    break;
+                                }
+                                *slots[i].lock() = repair_item(
+                                    g2,
+                                    kernel,
+                                    NodeId(jobs[i].1),
+                                    donors[i],
+                                    delta,
+                                    &mut ws,
+                                    &mut rws,
+                                    &mut wide,
+                                );
                             }
-                            *slots[i].lock() = repair_item(
-                                g2,
-                                kernel,
-                                NodeId(jobs[i].1),
-                                donors[i],
-                                delta,
-                                &mut ws,
-                                &mut rws,
-                            );
-                        }
-                    });
-                }
-            })
-            .expect("repair worker panicked");
-            slots.into_iter().map(|s| s.into_inner()).collect()
-        };
+                        });
+                    }
+                })
+                .expect("repair worker panicked");
+                slots.into_iter().map(|s| s.into_inner()).collect()
+            };
         drop(donors);
         for (i, (dist, settled, secs)) in computed.into_iter().enumerate() {
             let u = NodeId(jobs[i].1);
@@ -1221,25 +1485,38 @@ fn compute_item(
 }
 
 /// Runs one repair-pass job: a snapshot-delta repair when the donor row is
-/// available, a full sweep otherwise. Returns the row, `Some(settled)` iff
-/// repaired, and the item's seconds.
+/// available, a full sweep otherwise. A `u16`-packed donor is widened into
+/// the worker's `wide` buffer first (the repair kernels take canonical
+/// `u32` rows). Returns the row, `Some(settled)` iff repaired, and the
+/// item's seconds.
+#[allow(clippy::too_many_arguments)]
 fn repair_item(
     g2: &Graph,
     kernel: BfsKernel,
     u: NodeId,
-    donor: Option<&[u32]>,
+    donor: Option<RowRef<'_>>,
     delta: &SnapshotDelta,
     ws: &mut BfsWorkspace,
     rws: &mut RepairWorkspace,
+    wide: &mut Vec<u32>,
 ) -> (Vec<u32>, Option<usize>, f64) {
     let started = std::time::Instant::now();
     let mut dist = Vec::new();
     let settled = match donor {
-        Some(t1) => Some(if g2.is_weighted() {
-            dijkstra_repair_into(g2, t1, &delta.inserted, &mut dist, rws)
-        } else {
-            bfs_repair_into(g2, t1, &delta.inserted, &mut dist, rws)
-        }),
+        Some(r) => {
+            let t1: &[u32] = match r {
+                RowRef::U32(s) => s,
+                RowRef::U16(p) => {
+                    widen_u16_into(p, wide);
+                    wide.as_slice()
+                }
+            };
+            Some(if g2.is_weighted() {
+                dijkstra_repair_into(g2, t1, &delta.inserted, &mut dist, rws)
+            } else {
+                bfs_repair_into(g2, t1, &delta.inserted, &mut dist, rws)
+            })
+        }
         None => {
             compute_row_fresh(g2, kernel, u, &mut dist, ws);
             None
@@ -1447,6 +1724,67 @@ mod tests {
         }
         assert_eq!(o.repaired_rows(), 0);
         assert_eq!(o.kernel_stats().bfs_rows, 8);
+    }
+
+    #[test]
+    fn unweighted_rows_pack_to_u16_and_recycle_arena_slots() {
+        let (g1, g2) = graphs();
+        assert!(fits_u16(&g1) && fits_u16(&g2));
+        // Room for ~4 packed rows (10 bytes each): constant eviction, so
+        // freed slots must be recycled through the arena free list.
+        let mut o =
+            SnapshotOracle::with_budget(&g1, &g2, 10).with_row_cache(RowCacheBudget::Bytes(40));
+        assert!(o.row_packed(Snapshot::First) && o.row_packed(Snapshot::Second));
+        let mut reference = SnapshotOracle::with_budget(&g1, &g2, 10);
+        for u in g1.nodes() {
+            let (d1, d2) = o.rows(u).map(|(a, b)| (a.to_vec(), b.to_vec())).unwrap();
+            let (r1, r2) = reference
+                .rows(u)
+                .map(|(a, b)| (a.to_vec(), b.to_vec()))
+                .unwrap();
+            assert_eq!(d1, r1, "widened t1 of {u:?}");
+            assert_eq!(d2, r2, "widened t2 of {u:?}");
+        }
+        let stats = o.arena_stats();
+        assert_eq!(stats.u32_rows, 0, "unweighted rows must pack");
+        assert!(stats.u16_rows > 0);
+        assert!(stats.reused_rows > 0, "evicted slots must be recycled");
+        assert!(stats.slab_bytes > 0);
+        assert!(o.cache_evictions() > 0);
+        // Packed accounting: resident bytes are 2/node, so the 40-byte
+        // budget holds twice the rows the u32 layout would.
+        assert!(o.cache_bytes() <= 40 + 2 * 10, "pinned rows may overhang");
+        // The resident view is served at the packed width.
+        let some_resident = g1
+            .nodes()
+            .find_map(|u| o.cached_row(Snapshot::First, u))
+            .expect("something is resident");
+        assert!(matches!(some_resident, RowRef::U16(_)));
+    }
+
+    #[test]
+    fn packed_reads_match_across_residency() {
+        let (g1, g2) = graphs();
+        let mut resident =
+            SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Unbounded);
+        let mut evicted =
+            SnapshotOracle::unbounded(&g1, &g2).with_row_cache(RowCacheBudget::Bytes(0));
+        for u in g1.nodes() {
+            resident.rows(u).unwrap();
+            evicted.rows(u).unwrap();
+        }
+        let mut s1 = RowScratch::new();
+        let mut s2 = RowScratch::new();
+        for u in g1.nodes() {
+            let (a1, a2) = resident.read_rows_packed(u, &mut s1);
+            let (b1, b2) = evicted.read_rows_packed(u, &mut s2);
+            // Same width and same bits whether the row was resident or
+            // recomputed into scratch — the scan kernel cannot tell.
+            assert_eq!(a1, b1, "t1 of {u:?}");
+            assert_eq!(a2, b2, "t2 of {u:?}");
+            assert!(matches!(a1, RowRef::U16(_)), "unweighted rows pack");
+            assert_eq!(a1.to_u32_vec(), resident.read_rows(u, &mut s1).0);
+        }
     }
 
     #[test]

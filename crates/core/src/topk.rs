@@ -12,12 +12,16 @@
 //!    the pairs matching the [`TopKSpec`] are returned.
 
 use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
-use crate::oracle::{BfsKernel, BudgetLedger, KernelStats, Phase, RowScratch, SnapshotOracle};
+use crate::oracle::{
+    ArenaStats, BfsKernel, BudgetLedger, KernelStats, Phase, RowScratch, SnapshotOracle,
+};
+use crate::scan::{scan_delta_row, ScanCounters, ScanKernel};
 use crate::selectors::CandidateSelector;
 use cp_graph::{distance_decrease, Graph, NodeId};
 use serde::{Deserialize, Serialize};
-use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Candidate count below which the Δ scan runs inline instead of spawning
@@ -69,6 +73,19 @@ pub struct PipelineStats {
     /// kernel produced (`msbfs_rows + bfs_rows + dijkstra_rows +
     /// repair_rows` equals `sssp_computed`).
     pub kernel_stats: KernelStats,
+    /// The Δ-scan kernel the `M × V` phase ran (`scalar` | `auto`).
+    pub scan_kernel: ScanKernel,
+    /// Δ-scan chunks whose elements were walked (blocked kernel only;
+    /// zero under the scalar reference scan).
+    pub scan_chunks_scanned: u64,
+    /// Δ-scan chunks skipped whole because their maximum Δ was below the
+    /// shared floor.
+    pub scan_chunks_skipped: u64,
+    /// Individual Δ ≥ 1 values pruned below the shared floor inside
+    /// scanned chunks (pairs never materialized).
+    pub scan_pairs_pruned: u64,
+    /// Occupancy of the oracle's pooled row arenas at the end of the run.
+    pub arena: ArenaStats,
 }
 
 /// Output of a budgeted run.
@@ -135,7 +152,7 @@ pub fn run_pipeline(
 
     let candidates = oracle.fully_cached_nodes();
     let t_scan = Instant::now();
-    let pairs = pairs_from_candidates(oracle, &candidates, spec);
+    let (pairs, scan_counters) = pairs_from_candidates(oracle, &candidates, spec);
     let scan_secs = t_scan.elapsed().as_secs_f64();
 
     let (cache_hits, cache_misses) = oracle.cache_stats();
@@ -159,6 +176,11 @@ pub fn run_pipeline(
             threads: oracle.threads(),
             kernel: oracle.kernel(),
             kernel_stats: oracle.kernel_stats(),
+            scan_kernel: oracle.scan_kernel(),
+            scan_chunks_scanned: scan_counters.chunks_scanned,
+            scan_chunks_skipped: scan_counters.chunks_skipped,
+            scan_pairs_pruned: scan_counters.pairs_pruned,
+            arena: oracle.arena_stats(),
         },
     }
 }
@@ -166,103 +188,211 @@ pub fn run_pipeline(
 /// Computes the Δ values of all pairs `M × V` from cached candidate rows
 /// and cuts them per `spec`.
 ///
-/// The per-candidate scans are independent, so they fan out over the
-/// oracle's worker threads; each candidate fills a private buffer and the
-/// buffers are merged **in candidate order**, which keeps the first-seen
-/// pair deduplication — and therefore the output — bit-identical to a
-/// sequential scan at any thread count.
+/// Pairs with *both* endpoints in `M` would be seen twice; they are
+/// emitted only by their lowest-indexed candidate endpoint (the scan skips
+/// `v` when `v ∈ M` and `v < u`), so the merged output needs no global
+/// dedup set — for a sorted candidate list this emits exactly the pairs
+/// the old first-seen `HashSet` kept, in the same order.
+///
+/// The shared Δ floor starts at the spec's lower bound and only rises:
+/// under `ThresholdFromMax` it follows the exact running maximum, under
+/// `TopK(k)` each worker raises it to the minimum of its local top-k
+/// buffer once full (k distinct pairs at Δ ≥ m prove every Δ < m pair is
+/// outside the top k). Pruning is therefore conservative, and the final
+/// retain/sort/truncate below cuts exactly as the unpruned scan would —
+/// results are bit-identical across kernels, thread counts and cache
+/// budgets.
 fn pairs_from_candidates(
     oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
     spec: &TopKSpec,
-) -> Vec<ConvergingPair> {
-    let per_candidate = scan_candidate_rows(oracle, candidates);
-
-    // Resolve the Δ floor. For ThresholdFromMax the max is taken over the
-    // pairs *visible to this run* (the exact Δmax is unknown within the
-    // budget; evaluation harnesses pass an explicit Threshold from the
-    // exact baseline instead).
-    let mut all: Vec<ConvergingPair> = Vec::new();
-    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::new();
-    let mut observed_max = 0u32;
-    for bucket in per_candidate {
-        for p in bucket {
-            observed_max = observed_max.max(p.delta);
-            if seen.insert(p.pair) {
-                all.push(p);
-            }
-        }
-    }
-    let floor = match spec {
+) -> (Vec<ConvergingPair>, ScanCounters) {
+    // k = 0 keeps nothing: start the floor at its ceiling so the blocked
+    // kernel skips every chunk instead of materializing pairs the
+    // truncate below would discard anyway.
+    let initial_floor = match spec {
         TopKSpec::Threshold { delta_min } => (*delta_min).max(1),
-        TopKSpec::ThresholdFromMax { slack } => observed_max.saturating_sub(*slack).max(1),
+        TopKSpec::TopK(0) => u32::MAX,
+        TopKSpec::ThresholdFromMax { .. } | TopKSpec::TopK(_) => 1,
+    };
+    let floor = AtomicU32::new(initial_floor);
+    let observed_max = AtomicU32::new(0);
+    let mut in_m = vec![false; oracle.g1().num_nodes()];
+    for &u in candidates {
+        in_m[u.index()] = true;
+    }
+    let (mut all, counters) =
+        scan_candidate_rows(oracle, candidates, &in_m, spec, &floor, &observed_max);
+
+    // Resolve the final Δ floor. For ThresholdFromMax the max is taken
+    // over the pairs *visible to this run* (the exact Δmax is unknown
+    // within the budget; evaluation harnesses pass an explicit Threshold
+    // from the exact baseline instead) — and it is exact even under the
+    // blocked kernel, because skipped chunks still fold their maxima into
+    // `observed_max`.
+    let final_floor = match spec {
+        TopKSpec::Threshold { delta_min } => (*delta_min).max(1),
+        TopKSpec::ThresholdFromMax { slack } => observed_max
+            .load(Ordering::Relaxed)
+            .saturating_sub(*slack)
+            .max(1),
         TopKSpec::TopK(_) => 1,
     };
-    all.retain(|p| p.delta >= floor);
+    all.retain(|p| p.delta >= final_floor);
     sort_pairs(&mut all);
     if let TopKSpec::TopK(k) = spec {
         all.truncate(*k);
     }
-    all
+    (all, counters)
 }
 
-/// The Δ > 0 pairs contributed by each candidate's row pair, one bucket
-/// per candidate (not yet deduplicated across candidates).
+/// The Δ-emitting pairs contributed by each candidate's row pair, merged
+/// in candidate order.
 ///
-/// Rows are fetched with [`SnapshotOracle::read_rows`]: candidates are
-/// *paid* by construction, but under a bounded row cache their bytes may
-/// have been evicted, in which case each worker recomputes them into its
-/// own [`RowScratch`] — same bits, no charge, no shared mutation.
+/// Rows are fetched with [`SnapshotOracle::read_rows_packed`]: candidates
+/// are *paid* by construction, but under a bounded row cache their bytes
+/// may have been evicted, in which case each worker recomputes them into
+/// its own [`RowScratch`] — same bits, no charge, no shared mutation.
+///
+/// No locks: workers claim candidates off an atomic cursor, append into a
+/// private flat buffer (one allocation per worker, not per candidate) and
+/// record `(candidate, start, end)` ranges; the ranges are placed in
+/// candidate order after the scope joins. The merged output is identical
+/// to a sequential scan at any thread count.
 fn scan_candidate_rows(
     oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
-) -> Vec<Vec<ConvergingPair>> {
-    let scan_one = |u: NodeId, scratch: &mut RowScratch| -> Vec<ConvergingPair> {
-        let (d1, d2) = oracle.read_rows(u, scratch);
-        let mut found = Vec::new();
-        for v_idx in 0..d1.len() {
-            if v_idx == u.index() {
-                continue;
+    in_m: &[bool],
+    spec: &TopKSpec,
+    floor: &AtomicU32,
+    observed_max: &AtomicU32,
+) -> (Vec<ConvergingPair>, ScanCounters) {
+    let kernel = oracle.scan_kernel();
+    let from_max_slack = match spec {
+        TopKSpec::ThresholdFromMax { slack } => Some(*slack),
+        _ => None,
+    };
+    let topk = match spec {
+        TopKSpec::TopK(k) if *k > 0 => Some(*k),
+        _ => None,
+    };
+
+    // One worker's output: its flat pair buffer, the (candidate, start)
+    // offsets of each claimed candidate's run within it, and its scan
+    // counters.
+    type WorkerScan = (Vec<ConvergingPair>, Vec<(usize, usize)>, ScanCounters);
+
+    // One worker's whole run: claims candidates off `cursor`, appends
+    // into its flat `out`, records per-candidate ranges. `heap` is the
+    // worker-local min-heap of its k largest emitted Δs — every emitted
+    // pair is globally distinct (the `v ∈ M, v < u` skip), so a full
+    // heap's minimum is a valid global floor.
+    let worker = |cursor: &AtomicUsize| -> WorkerScan {
+        let mut scratch = RowScratch::new();
+        let mut out: Vec<ConvergingPair> = Vec::new();
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut counters = ScanCounters::default();
+        let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= candidates.len() {
+                break;
             }
-            let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
-                continue;
-            };
-            if delta == 0 {
-                continue;
+            let u = candidates[i];
+            let u_idx = u.index();
+            let start = out.len();
+            match kernel {
+                ScanKernel::Auto => {
+                    let (r1, r2) = oracle.read_rows_packed(u, &mut scratch);
+                    scan_delta_row(
+                        r1,
+                        r2,
+                        0,
+                        floor,
+                        observed_max,
+                        from_max_slack,
+                        &mut counters,
+                        &mut |v_idx, delta| {
+                            if v_idx == u_idx || (in_m[v_idx] && v_idx < u_idx) {
+                                return;
+                            }
+                            out.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
+                            let Some(k) = topk else { return };
+                            if heap.len() < k {
+                                heap.push(Reverse(delta));
+                            } else if delta > heap.peek().expect("nonempty").0 {
+                                heap.pop();
+                                heap.push(Reverse(delta));
+                            } else {
+                                return;
+                            }
+                            if heap.len() == k {
+                                floor
+                                    .fetch_max(heap.peek().expect("nonempty").0, Ordering::Relaxed);
+                            }
+                        },
+                    );
+                }
+                ScanKernel::Scalar => {
+                    // The reference per-element loop: no chunking, no
+                    // pruning — the pre-optimization behaviour, kept for
+                    // A/B runs and conformance tests.
+                    let (d1, d2) = oracle.read_rows(u, &mut scratch);
+                    for v_idx in 0..d1.len() {
+                        if v_idx == u_idx || (in_m[v_idx] && v_idx < u_idx) {
+                            continue;
+                        }
+                        let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
+                            continue;
+                        };
+                        if delta == 0 {
+                            continue;
+                        }
+                        observed_max.fetch_max(delta, Ordering::Relaxed);
+                        out.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
+                    }
+                }
             }
-            found.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
+            ranges.push((i, start));
         }
-        found
+        (out, ranges, counters)
     };
 
     let threads = oracle.threads().min(candidates.len()).max(1);
-    if threads == 1 || candidates.len() < PARALLEL_SCAN_CUTOFF {
-        let mut scratch = RowScratch::new();
-        return candidates
-            .iter()
-            .map(|&u| scan_one(u, &mut scratch))
-            .collect();
-    }
-    let slots: Vec<parking_lot::Mutex<Vec<ConvergingPair>>> = (0..candidates.len())
-        .map(|_| parking_lot::Mutex::new(Vec::new()))
-        .collect();
     let cursor = AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut scratch = RowScratch::new();
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= candidates.len() {
-                        break;
-                    }
-                    *slots[i].lock() = scan_one(candidates[i], &mut scratch);
-                }
-            });
+    let results: Vec<WorkerScan> = if threads == 1 || candidates.len() < PARALLEL_SCAN_CUTOFF {
+        vec![worker(&cursor)]
+    } else {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|_| worker(&cursor)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scan worker panicked"))
+                .collect()
+        })
+        .expect("scan scope panicked")
+    };
+
+    // Place each worker's ranges in candidate order. Every candidate is
+    // claimed exactly once, so each slot is written exactly once.
+    let mut slots: Vec<(usize, usize, usize)> = vec![(usize::MAX, 0, 0); candidates.len()];
+    let mut counters = ScanCounters::default();
+    for (w, (out, ranges, c)) in results.iter().enumerate() {
+        counters.absorb(c);
+        for (r, &(cand, start)) in ranges.iter().enumerate() {
+            let end = ranges.get(r + 1).map_or(out.len(), |&(_, next)| next);
+            slots[cand] = (w, start, end);
         }
-    })
-    .expect("scan worker panicked");
-    slots.into_iter().map(|m| m.into_inner()).collect()
+    }
+    let total = slots.iter().map(|&(_, s, e)| e - s).sum();
+    let mut all: Vec<ConvergingPair> = Vec::with_capacity(total);
+    for &(w, start, end) in &slots {
+        debug_assert_ne!(w, usize::MAX, "candidate never scanned");
+        all.extend_from_slice(&results[w].0[start..end]);
+    }
+    (all, counters)
 }
 
 #[cfg(test)]

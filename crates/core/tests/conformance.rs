@@ -14,8 +14,9 @@
 //! construction finds exactly the converging pairs touching an active
 //! node (an endpoint of a new edge).
 
-use cp_core::exact::{exact_top_k, TopKSpec};
+use cp_core::exact::{exact_top_k, exact_top_k_with_kernel, TopKSpec};
 use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle};
+use cp_core::scan::ScanKernel;
 use cp_core::selectors::{active_nodes, incidence_full, SelectorKind};
 use cp_core::topk::{run_pipeline, BudgetedResult};
 use cp_gen::affiliation::{affiliation, AffiliationParams};
@@ -222,6 +223,157 @@ fn incidence_baseline_matches_exact_ground_truth() {
             "{name}: no converging pairs generated"
         );
     }
+}
+
+fn run_scan_config(
+    g1: &Graph,
+    g2: &Graph,
+    m: u64,
+    spec: &TopKSpec,
+    threads: usize,
+    scan: ScanKernel,
+    cache: RowCacheBudget,
+) -> BudgetedResult {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m)
+        .with_threads(threads)
+        .with_row_cache(cache)
+        .with_scan_kernel(scan);
+    let mut sel = SelectorKind::Degree.build(3);
+    run_pipeline(&mut oracle, sel.as_mut(), spec)
+}
+
+/// The Δ-scan kernel matrix: `CP_SCAN_KERNEL` {scalar, auto} × threads
+/// {1,2,8} × cache budgets {off, tiny, 64k, unbounded} × every spec shape,
+/// against the reference scan (1 thread, scalar, cache off). The blocked
+/// kernel's chunk skipping and rising floors must never change pairs,
+/// candidates, or the ledger.
+#[test]
+fn scan_kernel_is_invariant_across_the_matrix() {
+    let specs = [
+        TopKSpec::TopK(10),
+        TopKSpec::ThresholdFromMax { slack: 1 },
+        TopKSpec::Threshold { delta_min: 2 },
+    ];
+    for (name, t) in generator_cases() {
+        let (g1, g2) = t.snapshot_pair(0.7, 1.0);
+        // One resident row pair plus change, at the packed (u16) width.
+        let tiny = RowCacheBudget::Bytes(3 * 2 * g1.num_nodes());
+        for spec in &specs {
+            let reference = run_scan_config(
+                &g1,
+                &g2,
+                12,
+                spec,
+                1,
+                ScanKernel::Scalar,
+                RowCacheBudget::Bytes(0),
+            );
+            for threads in [1usize, 2, 8] {
+                for scan in [ScanKernel::Scalar, ScanKernel::Auto] {
+                    for cache in [
+                        RowCacheBudget::Bytes(0),
+                        tiny,
+                        RowCacheBudget::Bytes(64 * 1024),
+                        RowCacheBudget::Unbounded,
+                    ] {
+                        let got = run_scan_config(&g1, &g2, 12, spec, threads, scan, cache);
+                        let ctx = format!(
+                            "{name}/{spec:?}/threads={threads}/scan={}/cache={}",
+                            scan.name(),
+                            cache.describe(),
+                        );
+                        assert_eq!(got.pairs, reference.pairs, "pairs diverge: {ctx}");
+                        assert_eq!(
+                            got.candidates, reference.candidates,
+                            "candidates diverge: {ctx}"
+                        );
+                        assert_eq!(got.budget, reference.budget, "ledger diverges: {ctx}");
+                        assert_eq!(got.stats.scan_kernel, scan, "kernel not recorded: {ctx}");
+                        if scan == ScanKernel::Scalar {
+                            // The reference loop neither chunks nor prunes.
+                            assert_eq!(got.stats.scan_chunks_scanned, 0, "{ctx}");
+                            assert_eq!(got.stats.scan_chunks_skipped, 0, "{ctx}");
+                            assert_eq!(got.stats.scan_pairs_pruned, 0, "{ctx}");
+                        } else if !got.candidates.is_empty() {
+                            assert!(
+                                got.stats.scan_chunks_scanned + got.stats.scan_chunks_skipped > 0,
+                                "blocked kernel saw no chunks: {ctx}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The exact baseline runs the same Δ-scan kernel; its answer (and the
+/// exact Δmax, which skipped chunks must still feed) is kernel- and
+/// thread-invariant.
+#[test]
+fn exact_solver_is_scan_kernel_invariant() {
+    let specs = [
+        TopKSpec::TopK(25),
+        TopKSpec::ThresholdFromMax { slack: 2 },
+        TopKSpec::Threshold { delta_min: 1 },
+    ];
+    for (name, t) in generator_cases() {
+        let (g1, g2) = t.snapshot_pair(0.7, 1.0);
+        for spec in &specs {
+            let reference = exact_top_k_with_kernel(&g1, &g2, spec, 1, ScanKernel::Scalar);
+            for threads in [1usize, 2, 8] {
+                for scan in [ScanKernel::Scalar, ScanKernel::Auto] {
+                    let got = exact_top_k_with_kernel(&g1, &g2, spec, threads, scan);
+                    let ctx = format!("{name}/{spec:?}/threads={threads}/scan={}", scan.name());
+                    assert_eq!(got.pairs, reference.pairs, "pairs diverge: {ctx}");
+                    assert_eq!(got.delta_max, reference.delta_max, "Δmax diverges: {ctx}");
+                    assert_eq!(got.delta_min, reference.delta_min, "Δmin diverges: {ctx}");
+                }
+            }
+        }
+    }
+}
+
+/// Weighted snapshots must keep full-width rows — Dijkstra distances can
+/// exceed `u16` — while the pipeline stays scan-kernel-invariant on them.
+#[test]
+fn weighted_rows_take_the_u32_arena_path() {
+    let weighted = |extra: &[(u32, u32, u32)]| {
+        let mut b = cp_graph::GraphBuilder::new(16);
+        for i in 0..15u32 {
+            b.add_weighted_edge(NodeId(i), NodeId(i + 1), 2 + i % 4);
+        }
+        for &(u, v, w) in extra {
+            b.add_weighted_edge(NodeId(u), NodeId(v), w);
+        }
+        b.build()
+    };
+    let g1 = weighted(&[]);
+    let g2 = weighted(&[(0, 15, 1), (4, 11, 2)]);
+    let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+    let reference = run_scan_config(
+        &g1,
+        &g2,
+        8,
+        &spec,
+        1,
+        ScanKernel::Scalar,
+        RowCacheBudget::Bytes(0),
+    );
+    for scan in [ScanKernel::Scalar, ScanKernel::Auto] {
+        let got = run_scan_config(&g1, &g2, 8, &spec, 2, scan, RowCacheBudget::Unbounded);
+        assert_eq!(got.pairs, reference.pairs, "scan={}", scan.name());
+        assert_eq!(got.candidates, reference.candidates, "scan={}", scan.name());
+        assert_eq!(
+            got.stats.arena.u16_rows, 0,
+            "weighted rows must not be packed"
+        );
+        assert!(got.stats.arena.u32_rows > 0, "u32 arena must hold the rows");
+    }
+    assert!(
+        !reference.pairs.is_empty(),
+        "weighted case must not be vacuous"
+    );
 }
 
 /// The exact solver's top-k cut is reproduced by the budgeted pipeline

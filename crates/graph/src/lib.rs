@@ -32,6 +32,10 @@
 //! * [`landmark_index`] — classic landmark distance estimation (triangle
 //!   upper/lower bounds), the technique the paper's related work builds on
 //!   and the basis of the Δ-certification extension in `cp-core`.
+//! * [`rowpack`] — compact row storage: `u16` packing for unweighted
+//!   distance rows (half the bytes, twice the cache reach) and a pooled
+//!   slab [`RowArena`](rowpack::RowArena) with a free list, the backing
+//!   store of the budget oracle's resident-row cache.
 //!
 //! Distances are `u32` with [`INF`] as the unreachable sentinel, which keeps
 //! distance rows compact (4 bytes/node) — the experiments stream millions of
@@ -52,6 +56,7 @@ pub mod graph;
 pub mod landmark_index;
 pub mod msbfs;
 pub mod repair;
+pub mod rowpack;
 pub mod temporal;
 pub mod unionfind;
 

@@ -1,0 +1,315 @@
+//! Compact distance-row storage: `u16` packing and a pooled slab arena.
+//!
+//! Unweighted BFS distances on a universe of `n ≤ 65 535` nodes are at most
+//! `n − 1 ≤ 65 534`, so they fit in a `u16` with [`INF_U16`] left over as
+//! the unreachable sentinel — half the bytes of the canonical `u32` rows,
+//! which means a byte-budgeted row cache holds twice the rows and the Δ
+//! scan streams twice the nodes per cache line. Weighted Dijkstra rows
+//! (and universes beyond `u16`) keep the full `u32` width; [`RowRef`]
+//! carries either width through a common read interface.
+//!
+//! [`RowArena`] pools the rows themselves: fixed-length slots carved out of
+//! large contiguous slabs, recycled through a free list, so an LRU cache
+//! that evicts and refills thousands of rows reuses warm slabs instead of
+//! churning the allocator.
+
+use crate::{Graph, INF};
+
+/// Sentinel for "unreachable" in a `u16`-packed row (maps to/from [`INF`]).
+pub const INF_U16: u16 = u16::MAX;
+
+/// Whether distance rows of `graph` can be packed to `u16`: unit weights
+/// (BFS distances are bounded by `n − 1`) and a node universe small enough
+/// that every finite distance stays strictly below [`INF_U16`].
+pub fn fits_u16(graph: &Graph) -> bool {
+    !graph.is_weighted() && graph.num_nodes() <= u16::MAX as usize
+}
+
+/// Packs a `u32` distance row into a `u16` slot of the same length,
+/// mapping [`INF`] to [`INF_U16`]. The caller guarantees every finite
+/// distance fits (see [`fits_u16`]); debug builds assert it.
+pub fn pack_u16_slice(src: &[u32], dst: &mut [u16]) {
+    assert_eq!(src.len(), dst.len(), "row length mismatch");
+    for (d, s) in dst.iter_mut().zip(src) {
+        debug_assert!(
+            *s == INF || *s < u32::from(INF_U16),
+            "distance overflows u16"
+        );
+        *d = if *s == INF { INF_U16 } else { *s as u16 };
+    }
+}
+
+/// Packs a `u32` row into a (cleared) `u16` buffer (see [`pack_u16_slice`]).
+pub fn pack_u16_into(src: &[u32], dst: &mut Vec<u16>) {
+    dst.clear();
+    dst.resize(src.len(), 0);
+    pack_u16_slice(src, dst);
+}
+
+/// Widens a `u16`-packed row back to `u32`, mapping [`INF_U16`] to [`INF`].
+/// The exact inverse of [`pack_u16_into`] for rows that satisfied
+/// [`fits_u16`] when packed.
+pub fn widen_u16_into(src: &[u16], dst: &mut Vec<u32>) {
+    dst.clear();
+    dst.extend(src.iter().map(|&d| widen_u16(d)));
+}
+
+/// Widens one packed distance ([`INF_U16`] → [`INF`]).
+#[inline]
+pub fn widen_u16(d: u16) -> u32 {
+    if d == INF_U16 {
+        INF
+    } else {
+        u32::from(d)
+    }
+}
+
+/// A distance row at either storage width, read through a common interface.
+///
+/// Borrowed from a [`RowArena`] (or a caller's scratch buffer); `get`
+/// always reports canonical `u32` distances with [`INF`] as the sentinel
+/// regardless of the underlying width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowRef<'a> {
+    /// A `u16`-packed row ([`INF_U16`] sentinel).
+    U16(&'a [u16]),
+    /// A full-width row ([`INF`] sentinel).
+    U32(&'a [u32]),
+}
+
+impl<'a> RowRef<'a> {
+    /// Number of nodes in the row.
+    pub fn len(&self) -> usize {
+        match self {
+            RowRef::U16(r) => r.len(),
+            RowRef::U32(r) => r.len(),
+        }
+    }
+
+    /// Whether the row is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The canonical `u32` distance of node `i` ([`INF`] if unreachable).
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        match self {
+            RowRef::U16(r) => widen_u16(r[i]),
+            RowRef::U32(r) => r[i],
+        }
+    }
+
+    /// The row as a canonical `u32` vector.
+    pub fn to_u32_vec(&self) -> Vec<u32> {
+        match self {
+            RowRef::U16(r) => r.iter().map(|&d| widen_u16(d)).collect(),
+            RowRef::U32(r) => r.to_vec(),
+        }
+    }
+}
+
+/// Handle to a row slot inside a [`RowArena`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RowId(u32);
+
+/// A pooled arena of fixed-length rows, stored in contiguous slabs with a
+/// free list.
+///
+/// Slots are addressed by [`RowId`]; [`RowArena::free`] recycles a slot
+/// for the next [`RowArena::alloc`] without returning memory to the
+/// allocator, so steady-state eviction/refill traffic (the row cache's LRU
+/// under a byte budget) runs allocation-free once the slabs are warm.
+pub struct RowArena<T> {
+    row_len: usize,
+    rows_per_slab: usize,
+    slabs: Vec<Vec<T>>,
+    free: Vec<u32>,
+    next: u32,
+    live: u64,
+    reused: u64,
+}
+
+/// Target slab size in bytes (rows per slab is derived from the row width).
+const SLAB_TARGET_BYTES: usize = 1 << 20;
+
+impl<T: Copy + Default> RowArena<T> {
+    /// Creates an arena of rows of `row_len` elements each.
+    pub fn new(row_len: usize) -> Self {
+        let row_bytes = (row_len * std::mem::size_of::<T>()).max(1);
+        RowArena {
+            row_len,
+            rows_per_slab: (SLAB_TARGET_BYTES / row_bytes).clamp(1, 1 << 16),
+            slabs: Vec::new(),
+            free: Vec::new(),
+            next: 0,
+            live: 0,
+            reused: 0,
+        }
+    }
+
+    /// Allocates a slot, recycling a freed one when available. The slot's
+    /// contents are unspecified (stale or zero) — callers overwrite the
+    /// full row via [`Self::row_mut`].
+    pub fn alloc(&mut self) -> RowId {
+        self.live += 1;
+        if let Some(id) = self.free.pop() {
+            self.reused += 1;
+            return RowId(id);
+        }
+        let id = self.next;
+        self.next += 1;
+        let slab = id as usize / self.rows_per_slab;
+        if slab == self.slabs.len() {
+            self.slabs
+                .push(vec![T::default(); self.rows_per_slab * self.row_len]);
+        }
+        RowId(id)
+    }
+
+    /// Returns a slot to the free list for reuse.
+    pub fn release(&mut self, id: RowId) {
+        debug_assert!(id.0 < self.next, "foreign RowId");
+        self.live = self.live.saturating_sub(1);
+        self.free.push(id.0);
+    }
+
+    /// The row stored in `id`'s slot.
+    pub fn row(&self, id: RowId) -> &[T] {
+        let (slab, off) = self.locate(id);
+        &self.slabs[slab][off..off + self.row_len]
+    }
+
+    /// Mutable access to `id`'s slot.
+    pub fn row_mut(&mut self, id: RowId) -> &mut [T] {
+        let (slab, off) = self.locate(id);
+        &mut self.slabs[slab][off..off + self.row_len]
+    }
+
+    fn locate(&self, id: RowId) -> (usize, usize) {
+        let i = id.0 as usize;
+        (
+            i / self.rows_per_slab,
+            (i % self.rows_per_slab) * self.row_len,
+        )
+    }
+
+    /// Bytes of one row's payload.
+    pub fn row_bytes(&self) -> usize {
+        self.row_len * std::mem::size_of::<T>()
+    }
+
+    /// Rows currently allocated (alloc'd minus released).
+    pub fn live_rows(&self) -> u64 {
+        self.live
+    }
+
+    /// Allocations served from the free list instead of fresh slab space.
+    pub fn reused_rows(&self) -> u64 {
+        self.reused
+    }
+
+    /// Bytes of slab capacity currently held (live and free slots alike).
+    pub fn slab_bytes(&self) -> u64 {
+        (self.slabs.len() * self.rows_per_slab * self.row_len * std::mem::size_of::<T>()) as u64
+    }
+
+    /// Drops every slab and resets the arena (memory pressure relief).
+    /// All outstanding [`RowId`]s are invalidated.
+    pub fn clear(&mut self) {
+        self.slabs.clear();
+        self.free.clear();
+        self.next = 0;
+        self.live = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, GraphBuilder};
+    use crate::NodeId;
+
+    #[test]
+    fn pack_widen_roundtrip() {
+        let row = vec![0, 1, 7, 65_534, INF];
+        let mut packed = Vec::new();
+        pack_u16_into(&row, &mut packed);
+        assert_eq!(packed, vec![0, 1, 7, 65_534, INF_U16]);
+        let mut widened = Vec::new();
+        widen_u16_into(&packed, &mut widened);
+        assert_eq!(widened, row);
+    }
+
+    #[test]
+    fn fits_u16_rules() {
+        let unweighted = graph_from_edges(8, &[(0, 1), (1, 2)]);
+        assert!(fits_u16(&unweighted));
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 5);
+        assert!(!fits_u16(&b.build()), "weighted rows stay u32");
+    }
+
+    #[test]
+    fn row_ref_widens_on_read() {
+        let packed: Vec<u16> = vec![3, INF_U16];
+        let r = RowRef::U16(&packed);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        assert_eq!(r.get(0), 3);
+        assert_eq!(r.get(1), INF);
+        assert_eq!(r.to_u32_vec(), vec![3, INF]);
+        let wide = vec![4, INF];
+        let w = RowRef::U32(&wide);
+        assert_eq!(w.get(1), INF);
+        assert_eq!(w.to_u32_vec(), wide);
+    }
+
+    #[test]
+    fn arena_allocates_reads_and_recycles() {
+        let mut arena: RowArena<u16> = RowArena::new(3);
+        let a = arena.alloc();
+        let b = arena.alloc();
+        arena.row_mut(a).copy_from_slice(&[1, 2, 3]);
+        arena.row_mut(b).copy_from_slice(&[4, 5, 6]);
+        assert_eq!(arena.row(a), &[1, 2, 3]);
+        assert_eq!(arena.row(b), &[4, 5, 6]);
+        assert_eq!(arena.live_rows(), 2);
+        assert_eq!(arena.reused_rows(), 0);
+        arena.release(a);
+        assert_eq!(arena.live_rows(), 1);
+        let c = arena.alloc();
+        assert_eq!(c, a, "freed slot is recycled first");
+        assert_eq!(arena.reused_rows(), 1);
+        arena.row_mut(c).copy_from_slice(&[7, 8, 9]);
+        assert_eq!(arena.row(b), &[4, 5, 6], "neighbors survive reuse");
+        assert!(arena.slab_bytes() > 0);
+        arena.clear();
+        assert_eq!(arena.live_rows(), 0);
+        assert_eq!(arena.slab_bytes(), 0);
+    }
+
+    #[test]
+    fn arena_spans_multiple_slabs() {
+        // Rows big enough that a slab holds few of them; force several slabs.
+        let row_len = SLAB_TARGET_BYTES / std::mem::size_of::<u32>() / 2;
+        let mut arena: RowArena<u32> = RowArena::new(row_len);
+        let ids: Vec<RowId> = (0..5).map(|_| arena.alloc()).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            arena.row_mut(id)[0] = i as u32;
+            arena.row_mut(id)[row_len - 1] = 1000 + i as u32;
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(arena.row(id)[0], i as u32);
+            assert_eq!(arena.row(id)[row_len - 1], 1000 + i as u32);
+        }
+        assert!(arena.slabs.len() >= 2, "expected multiple slabs");
+    }
+
+    #[test]
+    fn zero_length_rows_are_harmless() {
+        let mut arena: RowArena<u16> = RowArena::new(0);
+        let id = arena.alloc();
+        assert!(arena.row(id).is_empty());
+    }
+}

@@ -6,6 +6,7 @@ use cp_graph::builder::graph_from_edges;
 use cp_graph::components::components;
 use cp_graph::diameter::{diameter_double_sweep, diameter_exact};
 use cp_graph::dijkstra::dijkstra;
+use cp_graph::rowpack::{fits_u16, pack_u16_into, widen_u16_into, RowRef, INF_U16};
 use cp_graph::temporal::TemporalGraph;
 use cp_graph::{NodeId, INF};
 use proptest::prelude::*;
@@ -115,6 +116,45 @@ proptest! {
                 prop_assert!(d2[v] <= d1[v], "distance to {} grew", v);
             }
         }
+    }
+
+    #[test]
+    fn u16_row_packing_roundtrips(raw in prop::collection::vec((0u32..=u32::from(u16::MAX - 1), any::<bool>()), 0..200)) {
+        // Any mix of packable finite distances (0..=65534, including the
+        // sentinel boundary 65534) and INF holes survives pack → widen.
+        let row: Vec<u32> = raw
+            .iter()
+            .map(|&(d, inf)| if inf { INF } else { d })
+            .collect();
+        let mut packed = Vec::new();
+        pack_u16_into(&row, &mut packed);
+        let mut widened = Vec::new();
+        widen_u16_into(&packed, &mut widened);
+        prop_assert_eq!(&widened, &row);
+        // Element reads through RowRef agree at both widths, sentinel
+        // mapping included.
+        let r16 = RowRef::U16(&packed);
+        let r32 = RowRef::U32(&row);
+        prop_assert_eq!(r16.len(), r32.len());
+        for i in 0..row.len() {
+            prop_assert_eq!(r16.get(i), r32.get(i), "element {}", i);
+            prop_assert_eq!(packed[i] == INF_U16, row[i] == INF);
+        }
+        prop_assert_eq!(r16.to_u32_vec(), row);
+    }
+
+    #[test]
+    fn bfs_rows_of_small_graphs_always_pack((n, edges) in edge_list(40, 120)) {
+        // Every unweighted graph small enough for u16 ids packs: real BFS
+        // rows never reach the sentinel.
+        let g = graph_from_edges(n, &edges);
+        prop_assert!(fits_u16(&g));
+        let row = bfs(&g, NodeId(0));
+        let mut packed = Vec::new();
+        pack_u16_into(&row, &mut packed);
+        let mut widened = Vec::new();
+        widen_u16_into(&packed, &mut widened);
+        prop_assert_eq!(widened, row);
     }
 
     #[test]

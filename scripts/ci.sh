@@ -14,6 +14,11 @@ echo "==> cargo test -q [CP_BFS_KERNEL=scalar, CP_ROW_CACHE=0]"
 # cache disabled — keeps the pre-optimization compute path green too.
 CP_BFS_KERNEL=scalar CP_ROW_CACHE=0 cargo test -q
 
+echo "==> cargo test -q [CP_SCAN_KERNEL=scalar]"
+# Matrix leg: the reference per-element Δ-scan loop — the blocked kernel
+# and its pruning must be a pure wall-clock optimization.
+CP_SCAN_KERNEL=scalar cargo test -q -p cp-core
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -21,6 +26,13 @@ echo "==> pipeline_baseline release smoke (--scale=0.1)"
 smoke_out="$(mktemp -t bench_pipeline_smoke.XXXXXX.json)"
 cargo run --release -q -p cp-bench --bin pipeline_baseline -- \
     --scale=0.1 --out="$smoke_out" > /dev/null
+# The Δ-scan ladder must actually exercise chunk skipping somewhere:
+# at least one dataset reports a nonzero scan_chunks_skipped.
+grep -q '"scan_chunks_skipped": [1-9]' "$smoke_out" || {
+    echo "ci.sh: no dataset skipped any Δ-scan chunks" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
 rm -f "$smoke_out"
 
 echo "==> cargo fmt --check"
