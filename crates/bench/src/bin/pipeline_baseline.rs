@@ -40,6 +40,19 @@
 //! chunk skipping, rising Δ floor) on the `M × V` scan it rewrites;
 //! chunk/prune counters and row-arena occupancy ride along.
 //!
+//! **Phase 4 — bound-pruning ladder** on the evaluation snapshots: a
+//! pruning-friendly pipeline (Mmsd selector under a `Threshold
+//! {{delta_min: 4}}` spec whose floor gives the `t2` sweeps truncation
+//! headroom, delta cache off so full sweeps actually run) with
+//! `CP_SSSP_PRUNE` off vs auto. Results and the ledger are bit-identical
+//! (conformance-tested); what moves is the *internal* work —
+//! `settled_nodes` / `relaxed_edges` and the rows truncated at their
+//! depth bound. The landmark pre-filter stays dark in this phase (a
+//! zero-byte cache holds no resident landmark rows; the conformance
+//! suite exercises it), and the `sssp_secs` delta is reported as
+//! measured, however modest: on small graphs the truncated tail is
+//! cheap, so the work drop exceeds the time drop.
+//!
 //! Per sweep, three timings: `secs` (whole suite, end to end),
 //! `sssp_secs` (the oracle's distance-row computation, the path the
 //! kernels own), and `sssp_t2_secs` (its `G_t2` share, per-item summed —
@@ -54,7 +67,7 @@
 
 use cp_bench::{scaled_budget, Options};
 use cp_core::exact::TopKSpec;
-use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle};
+use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle, SsspPrune};
 use cp_core::scan::ScanKernel;
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, PipelineStats};
@@ -167,6 +180,55 @@ struct ScanSweep {
     arena_slab_bytes: u64,
 }
 
+/// Timing of one (dataset, prune mode) bound-pruning sweep (phase 4).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PruneSweep {
+    dataset: String,
+    /// `CP_SSSP_PRUNE` mode (`"off"` = every charged sweep runs full).
+    sssp_prune: String,
+    /// Pairs found (identical across modes — conformance-tested).
+    pairs: usize,
+    /// SSSPs charged (identical across modes: truncated rows still pay).
+    sssp_computed: u64,
+    /// Best-of-repeats oracle distance-row seconds.
+    sssp_secs: f64,
+    /// Nodes settled across all traversals (deterministic per mode).
+    settled_nodes: u64,
+    /// Adjacency entries relaxed across all traversals.
+    relaxed_edges: u64,
+    /// `t2` sweeps cut short at their depth bound.
+    rows_truncated: u64,
+    /// Charged rows the landmark pre-filter never computed.
+    rows_prefiltered: u64,
+    /// `M × V` pairs skipped with their pre-filtered candidate.
+    pairs_prefiltered: u64,
+}
+
+/// Per-dataset pruning comparison (phase 4, off vs auto).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct PruneSummary {
+    dataset: String,
+    /// Adjacency relaxations with pruning off.
+    off_relaxed_edges: u64,
+    /// Adjacency relaxations with pruning on — never more than off.
+    auto_relaxed_edges: u64,
+    /// `off / auto` relaxed-edge ratio: the internal-work saving.
+    relaxed_edges_ratio: f64,
+    /// Settled nodes with pruning off / on.
+    off_settled_nodes: u64,
+    /// Settled nodes with pruning on.
+    auto_settled_nodes: u64,
+    /// Oracle SSSP seconds with pruning off.
+    off_sssp_secs: f64,
+    /// Oracle SSSP seconds with pruning on.
+    auto_sssp_secs: f64,
+    /// `off / auto` on `sssp_secs` — the honest wall-clock delta, which
+    /// trails the work ratio when the truncated tail was cheap.
+    sssp_speedup: f64,
+    /// `t2` sweeps truncated in the pruned run.
+    rows_truncated: u64,
+}
+
 /// Per-dataset Δ-scan kernel comparison (phase 3).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct ScanSummary {
@@ -199,6 +261,8 @@ struct Baseline {
     repair: Vec<RepairSummary>,
     scan_ladder: Vec<ScanSweep>,
     scan: Vec<ScanSummary>,
+    prune_ladder: Vec<PruneSweep>,
+    prune: Vec<PruneSummary>,
     /// Suite totals: scalar kernel, one thread, cache off (eval pair).
     scalar_single_secs: f64,
     /// Suite totals: optimized kernel, one thread, cache off (eval pair).
@@ -219,6 +283,13 @@ struct Baseline {
     scan_speedup: f64,
     /// The best per-dataset `scan_speedup`.
     scan_speedup_max: f64,
+    /// Relaxed-edge ratio of pruning off vs on, summed over datasets
+    /// (phase 4) — the internal-work saving of bound truncation plus the
+    /// landmark pre-filter at a bit-identical ledger.
+    prune_relaxed_ratio: f64,
+    /// Pruning off-vs-on on `sssp_secs`, summed over datasets — the
+    /// honest wall-clock counterpart of `prune_relaxed_ratio`.
+    prune_sssp_speedup: f64,
     /// End-to-end speedup of the optimized parallel configuration over
     /// the scalar single-thread baseline.
     total_speedup: f64,
@@ -326,6 +397,33 @@ fn run_scan_heavy(
     (res.stats, res.candidates.len(), res.pairs.len())
 }
 
+/// One pruning-friendly pipeline run (phase 4): Mmsd selector,
+/// `Threshold {delta_min: 4}` floor (each extra floor unit shaves one
+/// more `t2` wave off the batched sweeps), delta cache off — full `t2`
+/// sweeps, the path truncation attacks; the landmark pre-filter stays
+/// dark here because a zero-byte cache keeps no resident landmark rows
+/// (the conformance suite covers it) — one thread, the given prune mode.
+fn run_prune_probe(
+    g1: &Graph,
+    g2: &Graph,
+    m: u64,
+    seed: u64,
+    prune: SsspPrune,
+) -> (PipelineStats, usize) {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m)
+        .with_threads(1)
+        .with_kernel(BfsKernel::Auto)
+        .with_row_cache(RowCacheBudget::Bytes(0))
+        .with_prune(prune);
+    let mut sel = SelectorKind::Mmsd { landmarks: 5 }.build(seed);
+    let res = run_pipeline(
+        &mut oracle,
+        sel.as_mut(),
+        &TopKSpec::Threshold { delta_min: 4 },
+    );
+    (res.stats, res.pairs.len())
+}
+
 fn main() {
     let opts = Options::from_env();
     let threads_multi = opts.threads.max(2);
@@ -352,10 +450,14 @@ fn main() {
     let mut repair: Vec<RepairSummary> = Vec::new();
     let mut scan_ladder: Vec<ScanSweep> = Vec::new();
     let mut scan: Vec<ScanSummary> = Vec::new();
+    let mut prune_ladder: Vec<PruneSweep> = Vec::new();
+    let mut prune: Vec<PruneSummary> = Vec::new();
     let mut totals = [0.0f64; 4];
     let mut sssp_totals = [0.0f64; 2]; // [scalar@1, auto@1] cache-off
     let mut t2_totals = [0.0f64; 2]; // phase 2: [cache-off, cache-on]
     let mut scan_totals = [0.0f64; 2]; // phase 3: [scalar scan, auto scan]
+    let mut prune_relaxed_totals = [0u64; 2]; // phase 4: [off, auto]
+    let mut prune_sssp_totals = [0.0f64; 2]; // phase 4: [off, auto]
     let mut repair_speedup_max = 0.0f64;
     let mut scan_speedup_max = 0.0f64;
 
@@ -555,6 +657,78 @@ fn main() {
             scan_speedup,
             chunks_skipped_frac: skipped_frac,
         });
+
+        // ---- Phase 4: bound-pruning ladder on the evaluation snapshots ----
+        let mut per_mode: [Option<(PipelineStats, usize)>; 2] = [None, None];
+        for (i, mode) in [SsspPrune::Off, SsspPrune::Auto].into_iter().enumerate() {
+            let mut best: Option<(PipelineStats, usize)> = None;
+            for _ in 0..REPEATS {
+                let r = run_prune_probe(&g1, &g2, m, opts.seed, mode);
+                if best
+                    .as_ref()
+                    .map_or(true, |b| r.0.sssp_secs < b.0.sssp_secs)
+                {
+                    best = Some(r);
+                }
+            }
+            let (stats, pairs) = best.expect("REPEATS >= 1");
+            eprintln!(
+                "  {name} prune [{}]: {:.4}s sssp, {} settled / {} relaxed ({} truncated, \
+                 {} rows + {} pairs prefiltered; {} pairs found)",
+                mode.name(),
+                stats.sssp_secs,
+                stats.settled_nodes,
+                stats.relaxed_edges,
+                stats.rows_truncated,
+                stats.rows_prefiltered,
+                stats.pairs_prefiltered,
+                pairs,
+            );
+            prune_ladder.push(PruneSweep {
+                dataset: name.to_string(),
+                sssp_prune: mode.name().to_string(),
+                pairs,
+                sssp_computed: stats.sssp_computed,
+                sssp_secs: stats.sssp_secs,
+                settled_nodes: stats.settled_nodes,
+                relaxed_edges: stats.relaxed_edges,
+                rows_truncated: stats.rows_truncated,
+                rows_prefiltered: stats.rows_prefiltered,
+                pairs_prefiltered: stats.pairs_prefiltered,
+            });
+            per_mode[i] = Some((stats, pairs));
+        }
+        let (off_stats, off_pairs) = per_mode[0].take().expect("off mode ran");
+        let (auto_stats, auto_pairs) = per_mode[1].take().expect("auto mode ran");
+        assert_eq!(off_pairs, auto_pairs, "{name}: pruning changed the answer");
+        assert_eq!(
+            off_stats.sssp_computed, auto_stats.sssp_computed,
+            "{name}: pruning changed the ledger"
+        );
+        let relaxed_ratio =
+            off_stats.relaxed_edges as f64 / (auto_stats.relaxed_edges.max(1)) as f64;
+        let sssp_speedup = off_stats.sssp_secs / auto_stats.sssp_secs.max(f64::MIN_POSITIVE);
+        eprintln!(
+            "  {name} prune ladder: {:.2}x fewer relaxed edges, {sssp_speedup:.2}x sssp \
+             wall clock ({} t2 rows truncated)",
+            relaxed_ratio, auto_stats.rows_truncated,
+        );
+        prune_relaxed_totals[0] += off_stats.relaxed_edges;
+        prune_relaxed_totals[1] += auto_stats.relaxed_edges;
+        prune_sssp_totals[0] += off_stats.sssp_secs;
+        prune_sssp_totals[1] += auto_stats.sssp_secs;
+        prune.push(PruneSummary {
+            dataset: name.to_string(),
+            off_relaxed_edges: off_stats.relaxed_edges,
+            auto_relaxed_edges: auto_stats.relaxed_edges,
+            relaxed_edges_ratio: relaxed_ratio,
+            off_settled_nodes: off_stats.settled_nodes,
+            auto_settled_nodes: auto_stats.settled_nodes,
+            off_sssp_secs: off_stats.sssp_secs,
+            auto_sssp_secs: auto_stats.sssp_secs,
+            sssp_speedup,
+            rows_truncated: auto_stats.rows_truncated,
+        });
     }
 
     let baseline = Baseline {
@@ -570,6 +744,8 @@ fn main() {
         repair,
         scan_ladder,
         scan,
+        prune_ladder,
+        prune,
         scalar_single_secs: totals[SLOT_SCALAR],
         optimized_single_secs: totals[SLOT_AUTO],
         multi_thread_secs: totals[SLOT_MULTI],
@@ -578,6 +754,9 @@ fn main() {
         repair_speedup_max,
         scan_speedup: scan_totals[0] / scan_totals[1].max(f64::MIN_POSITIVE),
         scan_speedup_max,
+        prune_relaxed_ratio: prune_relaxed_totals[0] as f64
+            / (prune_relaxed_totals[1].max(1)) as f64,
+        prune_sssp_speedup: prune_sssp_totals[0] / prune_sssp_totals[1].max(f64::MIN_POSITIVE),
         total_speedup: totals[SLOT_SCALAR] / totals[SLOT_MULTI].max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -587,7 +766,8 @@ fn main() {
         "wrote {out}: sssp path {:.3}s scalar vs {:.3}s optimized single-thread ({:.2}x \
          kernel); incremental t2 path {:.4}s repair-off vs {:.4}s repair-on ({:.2}x repair, \
          best dataset {:.2}x); Δ-scan path {:.4}s scalar vs {:.4}s blocked ({:.2}x scan, \
-         best dataset {:.2}x); suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads \
+         best dataset {:.2}x); bound pruning {:.2}x fewer relaxed edges, {:.2}x sssp wall \
+         clock; suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads \
          ({:.2}x total)",
         sssp_totals[0],
         sssp_totals[1],
@@ -600,6 +780,8 @@ fn main() {
         scan_totals[1],
         baseline.scan_speedup,
         baseline.scan_speedup_max,
+        baseline.prune_relaxed_ratio,
+        baseline.prune_sssp_speedup,
         baseline.scalar_single_secs,
         baseline.optimized_single_secs,
         baseline.multi_thread_secs,

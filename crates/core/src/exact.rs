@@ -59,6 +59,27 @@ pub enum TopKSpec {
     },
 }
 
+impl TopKSpec {
+    /// The Δ floor known *before* any row is scanned: a pair below this
+    /// value can never appear in the answer, whatever the snapshots hold.
+    ///
+    /// `Threshold` fixes its floor outright (clamped to ≥ 1 — a
+    /// converging pair needs a positive decrease); `TopK(0)` keeps
+    /// nothing, so its floor is the ceiling `u32::MAX`; the remaining
+    /// specs only learn their final cut from the data and start at 1.
+    /// This is the initial value of the scan's shared rising floor and
+    /// the bound the oracle's SSSP truncation and the landmark pre-filter
+    /// prune against — all three prune conservatively below a floor that
+    /// only ever rises, which is why pruning never changes results.
+    pub fn initial_floor(&self) -> u32 {
+        match self {
+            TopKSpec::Threshold { delta_min } => (*delta_min).max(1),
+            TopKSpec::TopK(0) => u32::MAX,
+            TopKSpec::ThresholdFromMax { .. } | TopKSpec::TopK(_) => 1,
+        }
+    }
+}
+
 /// The exact answer, plus the effective threshold it was cut at.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ExactTopK {

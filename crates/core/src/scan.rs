@@ -60,12 +60,30 @@ pub enum ScanKernel {
 }
 
 impl ScanKernel {
+    /// Parses a knob spelling: `scalar`, `auto`, or empty (→ default).
+    /// Unknown spellings are `None` so callers can warn instead of
+    /// silently falling back.
+    pub fn parse(s: &str) -> Option<Self> {
+        let s = s.trim();
+        if s.is_empty() || s.eq_ignore_ascii_case("auto") {
+            Some(ScanKernel::Auto)
+        } else if s.eq_ignore_ascii_case("scalar") {
+            Some(ScanKernel::Scalar)
+        } else {
+            None
+        }
+    }
+
     /// Reads `CP_SCAN_KERNEL` (`scalar` | `auto`); anything else (or
-    /// unset) means [`ScanKernel::Auto`] — mirroring `CP_BFS_KERNEL`.
+    /// unset) means [`ScanKernel::Auto`] — mirroring `CP_BFS_KERNEL`,
+    /// with a one-time stderr warning on an unparseable value.
     pub fn from_env() -> Self {
         match std::env::var("CP_SCAN_KERNEL") {
-            Ok(s) if s.trim().eq_ignore_ascii_case("scalar") => ScanKernel::Scalar,
-            _ => ScanKernel::Auto,
+            Ok(s) => Self::parse(&s).unwrap_or_else(|| {
+                crate::oracle::warn_bad_knob("CP_SCAN_KERNEL", &s, "auto");
+                ScanKernel::Auto
+            }),
+            Err(_) => ScanKernel::Auto,
         }
     }
 
@@ -279,6 +297,15 @@ mod tests {
     use super::*;
     use cp_graph::distance_decrease;
     use cp_graph::rowpack::pack_u16_into;
+
+    #[test]
+    fn kernel_parser_accepts_canonical_spellings() {
+        assert_eq!(ScanKernel::parse("scalar"), Some(ScanKernel::Scalar));
+        assert_eq!(ScanKernel::parse(" Scalar "), Some(ScanKernel::Scalar));
+        assert_eq!(ScanKernel::parse("auto"), Some(ScanKernel::Auto));
+        assert_eq!(ScanKernel::parse(""), Some(ScanKernel::Auto));
+        assert_eq!(ScanKernel::parse("blocked"), None);
+    }
 
     /// Deterministic pseudo-random row pair with INF holes and a planted
     /// spike, long enough to span several chunks.

@@ -13,11 +13,12 @@
 
 use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
 use crate::oracle::{
-    ArenaStats, BfsKernel, BudgetLedger, KernelStats, Phase, RowScratch, SnapshotOracle,
+    ArenaStats, BfsKernel, BudgetLedger, KernelStats, Phase, RowScratch, SnapshotOracle, SsspPrune,
 };
 use crate::scan::{scan_delta_row, ScanCounters, ScanKernel};
 use crate::selectors::CandidateSelector;
-use cp_graph::{distance_decrease, Graph, NodeId};
+use cp_graph::landmark_index::LandmarkIndex;
+use cp_graph::{distance_decrease, Graph, NodeId, INF};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -27,6 +28,11 @@ use std::time::Instant;
 /// Candidate count below which the Δ scan runs inline instead of spawning
 /// workers.
 const PARALLEL_SCAN_CUTOFF: usize = 8;
+
+/// Cap on the landmark rows the pre-filter folds into its triangle
+/// bounds: each landmark costs one `O(n)` sweep per wanted candidate, so
+/// past a handful the marginal bound tightening stops paying for itself.
+const PREFILTER_LANDMARKS: usize = 16;
 
 /// Wall-clock and cache instrumentation of one pipeline run. Timings are
 /// measurements, not results: everything else in [`BudgetedResult`] is
@@ -86,6 +92,24 @@ pub struct PipelineStats {
     pub scan_pairs_pruned: u64,
     /// Occupancy of the oracle's pooled row arenas at the end of the run.
     pub arena: ArenaStats,
+    /// The SSSP pruning mode the oracle ran (`off` | `auto`).
+    pub sssp_prune: SsspPrune,
+    /// Nodes settled across every traversal-kernel invocation, all phases
+    /// — the internal-work number bound-truncation shrinks while the
+    /// ledger (`sssp_computed`) stays bit-identical.
+    pub settled_nodes: u64,
+    /// Adjacency entries relaxed / scanned across every traversal.
+    pub relaxed_edges: u64,
+    /// Charged `t2` full sweeps cut short at their bound-derived depth
+    /// limit (each still carries its one-SSSP charge).
+    pub rows_truncated: u64,
+    /// Admitted rows charged to the ledger but never computed: the
+    /// landmark pre-filter certified every pair of their candidate below
+    /// the initial scan floor.
+    pub rows_prefiltered: u64,
+    /// `M × V` pairs never scanned because the pre-filter dropped their
+    /// candidate (`n − 1` per dropped candidate).
+    pub pairs_prefiltered: u64,
 }
 
 /// Output of a budgeted run.
@@ -136,23 +160,39 @@ pub fn run_pipeline(
     let selector_secs = t_select.elapsed().as_secs_f64();
     oracle.set_phase(Phase::TopK);
 
+    // The spec's a-priori Δ floor arms the oracle's bound-truncation: a
+    // top-k-phase `t2` sweep may stop at the depth past which no pair
+    // could reach the floor. Conservative by construction — the shared
+    // scan floor only ever rises from this value.
+    let initial_floor = spec.initial_floor();
+    oracle.set_prune_floor(initial_floor);
+
     // Nodes outside V_t1 cannot be the endpoint of a pair connected in
     // G_t1, so rows from them would be pure waste. The surviving ranking
     // goes through one batched prefetch: admission stays sequential (same
     // ledger and candidate set as paying one node at a time — a later,
     // partially cached candidate can still fit after an unaffordable one
-    // is skipped), only the row computation fans out.
+    // is skipped), only the row computation fans out. Candidates whose
+    // every pair the landmark pre-filter certifies below the floor are
+    // charged without being computed.
     let t_prefetch = Instant::now();
     let wanted: Vec<NodeId> = ranked
         .into_iter()
         .filter(|&u| oracle.g1().degree(u) > 0)
         .collect();
-    oracle.prefetch_node_rows(&wanted);
+    let prefiltered = prefilter_candidates(oracle, &wanted, initial_floor);
+    oracle.prefetch_node_rows_filtered(&wanted, &prefiltered);
     let prefetch_secs = t_prefetch.elapsed().as_secs_f64();
 
     let candidates = oracle.fully_cached_nodes();
+    let n_minus_1 = (oracle.g1().num_nodes() as u64).saturating_sub(1);
+    let pairs_prefiltered = candidates
+        .iter()
+        .filter(|u| prefiltered.contains(u))
+        .count() as u64
+        * n_minus_1;
     let t_scan = Instant::now();
-    let (pairs, scan_counters) = pairs_from_candidates(oracle, &candidates, spec);
+    let (pairs, scan_counters) = pairs_from_candidates(oracle, &candidates, &prefiltered, spec);
     let scan_secs = t_scan.elapsed().as_secs_f64();
 
     let (cache_hits, cache_misses) = oracle.cache_stats();
@@ -181,8 +221,82 @@ pub fn run_pipeline(
             scan_chunks_skipped: scan_counters.chunks_skipped,
             scan_pairs_pruned: scan_counters.pairs_pruned,
             arena: oracle.arena_stats(),
+            sssp_prune: oracle.prune(),
+            settled_nodes: oracle.traversal_work().settled,
+            relaxed_edges: oracle.traversal_work().relaxed,
+            rows_truncated: oracle.rows_truncated(),
+            rows_prefiltered: oracle.rows_prefiltered(),
+            pairs_prefiltered,
         },
     }
+}
+
+/// The landmark triangle-inequality pre-filter over the wanted
+/// candidates: returns the candidates whose **every** `M × V` pair is
+/// certified below `floor` before any row of theirs is materialized.
+///
+/// Landmarks are nodes whose rows are already resident and exact in both
+/// snapshots when the top-k phase starts — the probe rows a landmark-style
+/// selector paid for during Generation (a selector that leaves none makes
+/// this a no-op). For a candidate `u` and any node `v`,
+///
+/// ```text
+/// Δ(u, v) = d1(u, v) − d2(u, v) ≤ UB1(u, v) − LB2(u, v)
+/// ```
+///
+/// with `UB1 = min_w (d1(u,w) + d1(w,v))` and `LB2 = max_w |d2(u,w) −
+/// d2(w,v)|`. When that gap is below `floor` for every `v` — or `LB2` is
+/// infinite, which proves `d2(u,v) = ∞` and therefore Δ = 0 under the
+/// scan's convention — no pair of `u` can survive the final cut, so its
+/// rows can only prove what is already proven. The paper's cost model
+/// still charges them ([`SnapshotOracle::prefetch_node_rows_filtered`]);
+/// only the machine work is skipped. Disabled under [`SsspPrune::Off`].
+fn prefilter_candidates(
+    oracle: &mut SnapshotOracle<'_>,
+    wanted: &[NodeId],
+    floor: u32,
+) -> HashSet<NodeId> {
+    let mut dropped = HashSet::new();
+    if oracle.prune() != SsspPrune::Auto || wanted.is_empty() {
+        return dropped;
+    }
+    let landmarks: Vec<NodeId> = oracle
+        .fully_cached_nodes()
+        .into_iter()
+        .filter(|&w| oracle.cached_rows(w).is_some())
+        .take(PREFILTER_LANDMARKS)
+        .collect();
+    if landmarks.is_empty() {
+        return dropped;
+    }
+    let mut rows1 = Vec::with_capacity(landmarks.len());
+    let mut rows2 = Vec::with_capacity(landmarks.len());
+    for &w in &landmarks {
+        let (r1, r2) = oracle
+            .rows(w)
+            .expect("landmark rows are paid and resident — reading them is free");
+        rows1.push(r1.to_vec());
+        rows2.push(r2.to_vec());
+    }
+    let index1 = LandmarkIndex::from_rows(landmarks.clone(), rows1);
+    let index2 = LandmarkIndex::from_rows(landmarks, rows2);
+    let mut ub1 = Vec::new();
+    let mut lb2 = Vec::new();
+    for &u in wanted {
+        index1.accumulate_upper_bounds(u, &mut ub1);
+        index2.accumulate_lower_bounds(u, &mut lb2);
+        let all_below = ub1
+            .iter()
+            .zip(lb2.iter())
+            .enumerate()
+            .all(|(v, (&ub, &lb))| {
+                v == u.index() || lb == INF || (ub != INF && ub.saturating_sub(lb) < floor)
+            });
+        if all_below {
+            dropped.insert(u);
+        }
+    }
+    dropped
 }
 
 /// Computes the Δ values of all pairs `M × V` from cached candidate rows
@@ -205,24 +319,27 @@ pub fn run_pipeline(
 fn pairs_from_candidates(
     oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
+    prefiltered: &HashSet<NodeId>,
     spec: &TopKSpec,
 ) -> (Vec<ConvergingPair>, ScanCounters) {
-    // k = 0 keeps nothing: start the floor at its ceiling so the blocked
-    // kernel skips every chunk instead of materializing pairs the
-    // truncate below would discard anyway.
-    let initial_floor = match spec {
-        TopKSpec::Threshold { delta_min } => (*delta_min).max(1),
-        TopKSpec::TopK(0) => u32::MAX,
-        TopKSpec::ThresholdFromMax { .. } | TopKSpec::TopK(_) => 1,
-    };
-    let floor = AtomicU32::new(initial_floor);
+    // For TopK(0) the floor starts at its ceiling so the blocked kernel
+    // skips every chunk instead of materializing pairs the truncate below
+    // would discard anyway (see `TopKSpec::initial_floor`).
+    let floor = AtomicU32::new(spec.initial_floor());
     let observed_max = AtomicU32::new(0);
     let mut in_m = vec![false; oracle.g1().num_nodes()];
     for &u in candidates {
         in_m[u.index()] = true;
     }
-    let (mut all, counters) =
-        scan_candidate_rows(oracle, candidates, &in_m, spec, &floor, &observed_max);
+    let (mut all, counters) = scan_candidate_rows(
+        oracle,
+        candidates,
+        prefiltered,
+        &in_m,
+        spec,
+        &floor,
+        &observed_max,
+    );
 
     // Resolve the final Δ floor. For ThresholdFromMax the max is taken
     // over the pairs *visible to this run* (the exact Δmax is unknown
@@ -262,6 +379,7 @@ fn pairs_from_candidates(
 fn scan_candidate_rows(
     oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
+    prefiltered: &HashSet<NodeId>,
     in_m: &[bool],
     spec: &TopKSpec,
     floor: &AtomicU32,
@@ -301,6 +419,14 @@ fn scan_candidate_rows(
             let u = candidates[i];
             let u_idx = u.index();
             let start = out.len();
+            // A pre-filtered candidate's rows were never computed: every
+            // pair of its scan is certified below the initial floor, so
+            // its range is simply empty — reading the rows here would
+            // recompute them and undo the saving.
+            if prefiltered.contains(&u) {
+                ranges.push((i, start));
+                continue;
+            }
             match kernel {
                 ScanKernel::Auto => {
                     let (r1, r2) = oracle.read_rows_packed(u, &mut scratch);

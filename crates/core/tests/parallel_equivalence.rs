@@ -250,7 +250,11 @@ fn prefetch_batch_widths_are_kernel_invariant() {
         assert_eq!(ks.msbfs_rows, wave_rows, "width {width}");
         assert_eq!(ks.repair_rows, width as u64, "width {width}");
         assert_eq!(
-            ks.msbfs_rows + ks.bfs_rows + ks.dijkstra_rows + ks.repair_rows,
+            ks.msbfs_rows
+                + ks.bfs_rows
+                + ks.dijkstra_rows
+                + ks.repair_rows
+                + auto.rows_prefiltered(),
             auto.ledger().total(),
             "width {width}: row counters must add up to the ledger"
         );

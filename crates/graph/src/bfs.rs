@@ -25,6 +25,35 @@
 use crate::graph::{Graph, NodeId};
 use crate::INF;
 
+/// Work performed by a traversal kernel, accumulated across calls.
+///
+/// `settled` counts nodes whose distance was finalized (the source
+/// included); `relaxed` counts adjacency entries examined. Both are pure
+/// diagnostics: they never influence the distances a kernel produces, only
+/// report how much internal work producing them took — the quantity the
+/// bound-truncated kernels exist to shrink while the budget *ledger*
+/// (charged SSSPs) stays bit-identical.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalWork {
+    /// Nodes whose distance was finalized.
+    pub settled: u64,
+    /// Adjacency entries examined (edge relaxations / parent probes).
+    pub relaxed: u64,
+}
+
+impl TraversalWork {
+    /// A zeroed counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accumulates another counter into this one.
+    pub fn merge(&mut self, other: TraversalWork) {
+        self.settled += other.settled;
+        self.relaxed += other.relaxed;
+    }
+}
+
 /// Growth factor of the Beamer top-down → bottom-up switch: go bottom-up
 /// when `frontier_edges > remaining_edges / ALPHA`. The published tuning
 /// (α = 14) carries over well to the paper's social/web-like snapshots.
@@ -65,6 +94,25 @@ impl BfsWorkspace {
 /// unreachable nodes get [`INF`]. The result is bit-identical to
 /// [`bfs_scalar_into`] — only the wall clock differs.
 pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWorkspace) {
+    bfs_limited_into(graph, src, dist, ws, INF, &mut TraversalWork::new());
+}
+
+/// Depth-limited, work-counted variant of [`bfs_into`].
+///
+/// Expansion stops before any level `> limit` would be produced: every
+/// node within `limit` hops receives its exact BFS distance, every node
+/// beyond stays [`INF`]. With `limit == INF` the output is identical to
+/// [`bfs_into`]. Returns `true` iff the traversal was actually cut short
+/// (the frontier was still non-empty at the cutoff). `work` accumulates
+/// settled nodes and examined adjacency entries across the call.
+pub fn bfs_limited_into(
+    graph: &Graph,
+    src: NodeId,
+    dist: &mut Vec<u32>,
+    ws: &mut BfsWorkspace,
+    limit: u32,
+    work: &mut TraversalWork,
+) -> bool {
     let n = graph.num_nodes();
     dist.clear();
     dist.resize(n, INF);
@@ -72,10 +120,10 @@ pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWor
     ws.next.clear();
 
     dist[src.index()] = 0;
+    work.settled += 1;
     ws.frontier.push(src);
     if n < HYBRID_MIN_NODES {
-        top_down_all(graph, dist, ws);
-        return;
+        return top_down_limited(graph, dist, ws, limit, work);
     }
 
     let total_arcs = graph.num_arcs();
@@ -87,6 +135,9 @@ pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWor
     let mut level: u32 = 0;
 
     while frontier_len > 0 {
+        if level >= limit {
+            return true;
+        }
         level += 1;
         if !bottom_up && frontier_edges * ALPHA > remaining_edges {
             // Frontier is edge-heavy: scanning unvisited nodes for a parent
@@ -120,12 +171,19 @@ pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWor
                 if *d != INF {
                     continue;
                 }
-                let has_parent = graph
-                    .neighbors(NodeId::new(v))
-                    .iter()
-                    .any(|&u| ws.front_bits[u.index() >> 6] & (1u64 << (u.index() & 63)) != 0);
+                // Probe this unvisited node's adjacency for a frontier
+                // parent, counting every probe as one examined entry.
+                let mut has_parent = false;
+                for &u in graph.neighbors(NodeId::new(v)) {
+                    work.relaxed += 1;
+                    if ws.front_bits[u.index() >> 6] & (1u64 << (u.index() & 63)) != 0 {
+                        has_parent = true;
+                        break;
+                    }
+                }
                 if has_parent {
                     *d = level;
+                    work.settled += 1;
                     ws.next_bits[v >> 6] |= 1u64 << (v & 63);
                     frontier_len += 1;
                     let deg = graph.degree(NodeId::new(v));
@@ -139,8 +197,10 @@ pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWor
             for i in 0..ws.frontier.len() {
                 let u = ws.frontier[i];
                 for &v in graph.neighbors(u) {
+                    work.relaxed += 1;
                     if dist[v.index()] == INF {
                         dist[v.index()] = level;
+                        work.settled += 1;
                         ws.next.push(v);
                         let deg = graph.degree(v);
                         frontier_edges += deg;
@@ -152,18 +212,32 @@ pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWor
             std::mem::swap(&mut ws.frontier, &mut ws.next);
         }
     }
+    false
 }
 
 /// The purely top-down level expansion over an already-seeded workspace
 /// frontier (shared by the small-graph path and [`bfs_scalar_into`]).
-fn top_down_all(graph: &Graph, dist: &mut [u32], ws: &mut BfsWorkspace) {
+/// Stops before producing any level `> limit`; returns `true` iff cut
+/// short with the frontier still non-empty.
+fn top_down_limited(
+    graph: &Graph,
+    dist: &mut [u32],
+    ws: &mut BfsWorkspace,
+    limit: u32,
+    work: &mut TraversalWork,
+) -> bool {
     let mut level: u32 = 0;
     while !ws.frontier.is_empty() {
+        if level >= limit {
+            return true;
+        }
         level += 1;
         for &u in &ws.frontier {
             for &v in graph.neighbors(u) {
+                work.relaxed += 1;
                 if dist[v.index()] == INF {
                     dist[v.index()] = level;
+                    work.settled += 1;
                     ws.next.push(v);
                 }
             }
@@ -171,20 +245,35 @@ fn top_down_all(graph: &Graph, dist: &mut [u32], ws: &mut BfsWorkspace) {
         std::mem::swap(&mut ws.frontier, &mut ws.next);
         ws.next.clear();
     }
+    false
 }
 
 /// The scalar (always top-down) reference kernel. Same output as
 /// [`bfs_into`]; exists so A/B runs and equivalence tests can pin the
 /// pre-optimization behaviour (`CP_BFS_KERNEL=scalar`).
 pub fn bfs_scalar_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWorkspace) {
+    bfs_scalar_limited_into(graph, src, dist, ws, INF, &mut TraversalWork::new());
+}
+
+/// Depth-limited, work-counted variant of [`bfs_scalar_into`]; same
+/// truncation contract as [`bfs_limited_into`].
+pub fn bfs_scalar_limited_into(
+    graph: &Graph,
+    src: NodeId,
+    dist: &mut Vec<u32>,
+    ws: &mut BfsWorkspace,
+    limit: u32,
+    work: &mut TraversalWork,
+) -> bool {
     let n = graph.num_nodes();
     dist.clear();
     dist.resize(n, INF);
     ws.frontier.clear();
     ws.next.clear();
     dist[src.index()] = 0;
+    work.settled += 1;
     ws.frontier.push(src);
-    top_down_all(graph, dist, ws);
+    top_down_limited(graph, dist, ws, limit, work)
 }
 
 /// Allocating convenience wrapper around [`bfs_into`].
@@ -405,5 +494,77 @@ mod tests {
     fn bfs_single_node_graph() {
         let g = graph_from_edges(1, &[]);
         assert_eq!(bfs(&g, NodeId(0)), vec![0]);
+    }
+
+    #[test]
+    fn limited_with_inf_matches_unlimited() {
+        let g = path5();
+        let mut ws = BfsWorkspace::new();
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        for src in 0..5u32 {
+            let mut work = TraversalWork::new();
+            let cut = bfs_limited_into(&g, NodeId(src), &mut a, &mut ws, INF, &mut work);
+            bfs_into(&g, NodeId(src), &mut b, &mut ws);
+            assert!(!cut, "src {src}");
+            assert_eq!(a, b, "src {src}");
+            assert!(work.settled > 0 && work.relaxed > 0);
+        }
+    }
+
+    #[test]
+    fn limited_truncates_at_depth_and_reports_it() {
+        let g = path5();
+        let mut ws = BfsWorkspace::new();
+        let mut dist = Vec::new();
+        let mut work = TraversalWork::new();
+        let cut = bfs_limited_into(&g, NodeId(0), &mut dist, &mut ws, 2, &mut work);
+        assert!(cut);
+        assert_eq!(dist, vec![0, 1, 2, INF, INF]);
+        // Exactly the prefix within the limit is settled.
+        assert_eq!(work.settled, 3);
+        // A limit past the last-discovery level cuts nothing. (The flag is
+        // conservative: at limit == eccentricity the frontier still holds
+        // the final node, so only limit > eccentricity reports a clean
+        // drain.)
+        let mut full_work = TraversalWork::new();
+        let cut = bfs_limited_into(&g, NodeId(0), &mut dist, &mut ws, 5, &mut full_work);
+        assert!(!cut);
+        assert_eq!(dist, vec![0, 1, 2, 3, 4]);
+        assert!(work.relaxed < full_work.relaxed, "truncation saves work");
+    }
+
+    #[test]
+    fn limited_scalar_matches_limited_hybrid_above_cutoff() {
+        // Same star-pair shape as `hybrid_matches_scalar_above_cutoff`, so
+        // the bottom-up branch of the limited kernel is exercised too.
+        let n = 2 * HYBRID_MIN_NODES as u32;
+        let mut edges: Vec<(u32, u32)> = (1..n / 2).map(|i| (0, i)).collect();
+        edges.extend((n / 2 + 1..n).map(|i| (n / 2, i)));
+        edges.push((0, n / 2));
+        let g = graph_from_edges(n as usize, &edges);
+        let mut ws = BfsWorkspace::new();
+        let (mut hybrid, mut scalar) = (Vec::new(), Vec::new());
+        for limit in [0u32, 1, 2, 3, INF] {
+            for src in [0u32, 1, n - 1] {
+                let ch = bfs_limited_into(
+                    &g,
+                    NodeId(src),
+                    &mut hybrid,
+                    &mut ws,
+                    limit,
+                    &mut TraversalWork::new(),
+                );
+                let cs = bfs_scalar_limited_into(
+                    &g,
+                    NodeId(src),
+                    &mut scalar,
+                    &mut ws,
+                    limit,
+                    &mut TraversalWork::new(),
+                );
+                assert_eq!(hybrid, scalar, "src {src} limit {limit}");
+                assert_eq!(ch, cs, "src {src} limit {limit}");
+            }
+        }
     }
 }

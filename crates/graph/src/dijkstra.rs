@@ -5,6 +5,7 @@
 //! `cp-core` dispatches here whenever a snapshot carries edge weights, so
 //! the full pipeline works on weighted inputs too.
 
+use crate::bfs::TraversalWork;
 use crate::graph::{Graph, NodeId};
 use crate::INF;
 use std::cmp::Reverse;
@@ -24,16 +25,41 @@ pub fn dijkstra(graph: &Graph, src: NodeId) -> Vec<u32> {
 
 /// In-place variant of [`dijkstra`]; `dist` is resized and overwritten.
 pub fn dijkstra_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>) {
+    dijkstra_limited_into(graph, src, dist, INF, &mut TraversalWork::new());
+}
+
+/// Distance-limited, work-counted variant of [`dijkstra_into`].
+///
+/// Settling stops once the heap's minimum exceeds `limit`: by the Dijkstra
+/// invariant every node within distance `limit` has its exact value at
+/// that point, and any remaining tentative entry (`> limit`) is swept back
+/// to [`INF`] so a truncated row never exposes a non-final distance. With
+/// `limit == INF` the output is identical to [`dijkstra_into`]. Returns
+/// `true` iff the cutoff actually fired.
+pub fn dijkstra_limited_into(
+    graph: &Graph,
+    src: NodeId,
+    dist: &mut Vec<u32>,
+    limit: u32,
+    work: &mut TraversalWork,
+) -> bool {
     dist.clear();
     dist.resize(graph.num_nodes(), INF);
     let mut heap: BinaryHeap<Reverse<(u32, NodeId)>> = BinaryHeap::new();
     dist[src.index()] = 0;
     heap.push(Reverse((0, src)));
+    let mut truncated = false;
     while let Some(Reverse((d, u))) = heap.pop() {
         if d > dist[u.index()] {
             continue; // stale entry
         }
+        if d > limit {
+            truncated = true;
+            break;
+        }
+        work.settled += 1;
         for (v, e) in graph.neighbors_with_edge_ids(u) {
+            work.relaxed += 1;
             let w = graph.edge_weight(e);
             let nd = d.saturating_add(w).min(INF - 1);
             if nd < dist[v.index()] {
@@ -42,6 +68,16 @@ pub fn dijkstra_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>) {
             }
         }
     }
+    if truncated {
+        // Canonicalize: tentative distances beyond the limit were never
+        // settled; a truncated row reports them as unreachable.
+        for d in dist.iter_mut() {
+            if *d > limit {
+                *d = INF;
+            }
+        }
+    }
+    truncated
 }
 
 #[cfg(test)]
@@ -89,6 +125,47 @@ mod tests {
         );
         for s in 0..7 {
             assert_eq!(dijkstra(&g, NodeId(s)), bfs(&g, NodeId(s)), "src {s}");
+        }
+    }
+
+    #[test]
+    fn limited_with_inf_matches_unlimited() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 5);
+        b.add_weighted_edge(NodeId(1), NodeId(2), 1);
+        b.add_weighted_edge(NodeId(0), NodeId(2), 10);
+        b.add_weighted_edge(NodeId(2), NodeId(3), 2);
+        let g = b.build();
+        let mut dist = Vec::new();
+        let mut work = TraversalWork::new();
+        let cut = dijkstra_limited_into(&g, NodeId(0), &mut dist, INF, &mut work);
+        assert!(!cut);
+        assert_eq!(dist, dijkstra(&g, NodeId(0)));
+        assert_eq!(work.settled, 4);
+    }
+
+    #[test]
+    fn limited_truncates_and_sweeps_tentative_entries() {
+        // 0 -5- 1 -1- 2 -2- 3, chord 0 -10- 2. At limit 6 node 3 (dist 8)
+        // is unsettled; its tentative entry 8 (and the stale 10 via the
+        // chord) must both read INF in the truncated row.
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(NodeId(0), NodeId(1), 5);
+        b.add_weighted_edge(NodeId(1), NodeId(2), 1);
+        b.add_weighted_edge(NodeId(0), NodeId(2), 10);
+        b.add_weighted_edge(NodeId(2), NodeId(3), 2);
+        let g = b.build();
+        let mut dist = Vec::new();
+        let mut work = TraversalWork::new();
+        let cut = dijkstra_limited_into(&g, NodeId(0), &mut dist, 6, &mut work);
+        assert!(cut);
+        assert_eq!(dist, vec![0, 5, 6, INF]);
+        // Everything at or below the limit is exact, not merely bounded.
+        let full = dijkstra(&g, NodeId(0));
+        for (v, &d) in dist.iter().enumerate() {
+            if d != INF {
+                assert_eq!(d, full[v], "node {v}");
+            }
         }
     }
 

@@ -136,6 +136,56 @@ impl LandmarkIndex {
         best
     }
 
+    /// Bulk form of [`Self::upper_bound`]: fills `out[v]` with the upper
+    /// bound on `d(u, v)` for every node `v`, in `O(L · n)` — one pass per
+    /// landmark row instead of `n` separate `O(L)` probes. `out` is
+    /// resized to the row length and fully overwritten.
+    pub fn accumulate_upper_bounds(&self, u: NodeId, out: &mut Vec<u32>) {
+        let n = self.rows.first().map(|r| r.len()).unwrap_or(0);
+        out.clear();
+        out.resize(n, INF);
+        for row in &self.rows {
+            let du = row[u.index()];
+            if du == INF {
+                continue;
+            }
+            for (o, &dv) in out.iter_mut().zip(row.iter()) {
+                if dv != INF {
+                    *o = (*o).min(du.saturating_add(dv));
+                }
+            }
+        }
+        if n > 0 {
+            out[u.index()] = 0;
+        }
+    }
+
+    /// Bulk form of [`Self::lower_bound`]: fills `out[v]` with the lower
+    /// bound on `d(u, v)` for every node `v` (with [`INF`] marking pairs
+    /// certified disconnected), in `O(L · n)`. `out` is resized to the
+    /// row length and fully overwritten.
+    pub fn accumulate_lower_bounds(&self, u: NodeId, out: &mut Vec<u32>) {
+        let n = self.rows.first().map(|r| r.len()).unwrap_or(0);
+        out.clear();
+        out.resize(n, 0);
+        for row in &self.rows {
+            let du = row[u.index()];
+            for (o, &dv) in out.iter_mut().zip(row.iter()) {
+                // One endpoint reachable from the landmark, one not:
+                // certified disconnection. INF == u32::MAX, so once any
+                // landmark certifies it the max-accumulation keeps it.
+                *o = match (du == INF, dv == INF) {
+                    (false, false) => (*o).max(du.abs_diff(dv)),
+                    (true, true) => *o,
+                    _ => INF,
+                };
+            }
+        }
+        if n > 0 {
+            out[u.index()] = 0;
+        }
+    }
+
     /// The midpoint estimate `(lower + upper) / 2`, a common scalar
     /// estimator; [`INF`] when the upper bound is infinite.
     pub fn estimate(&self, u: NodeId, v: NodeId) -> u32 {
@@ -227,6 +277,43 @@ mod tests {
     #[should_panic(expected = "one row per landmark")]
     fn from_rows_validates() {
         LandmarkIndex::from_rows(vec![NodeId(0)], vec![]);
+    }
+
+    #[test]
+    fn bulk_bounds_match_scalar_probes() {
+        // Connected sample plus a graph with a certified-disconnected
+        // component, so the INF propagation paths are all exercised.
+        let graphs = [sample(), graph_from_edges(6, &[(0, 1), (1, 2), (4, 5)])];
+        for g in &graphs {
+            let idx = LandmarkIndex::build(g, &[NodeId(0), NodeId(2)]);
+            let (mut ubs, mut lbs) = (Vec::new(), Vec::new());
+            for u in 0..6u32 {
+                idx.accumulate_upper_bounds(NodeId(u), &mut ubs);
+                idx.accumulate_lower_bounds(NodeId(u), &mut lbs);
+                for v in 0..6u32 {
+                    assert_eq!(
+                        ubs[v as usize],
+                        idx.upper_bound(NodeId(u), NodeId(v)),
+                        "ub({u},{v})"
+                    );
+                    assert_eq!(
+                        lbs[v as usize],
+                        idx.lower_bound(NodeId(u), NodeId(v)),
+                        "lb({u},{v})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_bounds_on_empty_index() {
+        let idx = LandmarkIndex::from_rows(vec![], vec![]);
+        let (mut ubs, mut lbs) = (vec![1, 2, 3], vec![4, 5, 6]);
+        idx.accumulate_upper_bounds(NodeId(0), &mut ubs);
+        idx.accumulate_lower_bounds(NodeId(0), &mut lbs);
+        assert!(ubs.is_empty());
+        assert!(lbs.is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! swap this kernel in without disturbing the paper's determinism contract
 //! (one wave still *charges* one SSSP per source; see `cp-core`).
 
+use crate::bfs::TraversalWork;
 use crate::graph::{Graph, NodeId};
 use crate::INF;
 
@@ -63,6 +64,27 @@ pub fn msbfs_into(
     rows: &mut [Vec<u32>],
     ws: &mut MsBfsWorkspace,
 ) {
+    msbfs_limited_into(graph, sources, rows, ws, INF, &mut TraversalWork::new());
+}
+
+/// Depth-limited, work-counted variant of [`msbfs_into`].
+///
+/// The whole wave stops before any level `> limit` would be produced:
+/// every `(source, node)` pair within `limit` hops gets its exact BFS
+/// level, everything beyond stays [`INF`]. With `limit == INF` the rows
+/// are identical to [`msbfs_into`]. Returns a bitmask with bit *b* set
+/// iff source *b* still had a live frontier at the cutoff, i.e. its row
+/// was actually truncated. `work` counts settled `(source, node)` pairs
+/// and adjacency entries scanned (one per edge per sweep — the shared
+/// sweep is exactly what makes a wave cheaper than per-source BFS).
+pub fn msbfs_limited_into(
+    graph: &Graph,
+    sources: &[NodeId],
+    rows: &mut [Vec<u32>],
+    ws: &mut MsBfsWorkspace,
+    limit: u32,
+    work: &mut TraversalWork,
+) -> u64 {
     assert!(
         sources.len() <= WAVE_WIDTH,
         "wave of {} sources exceeds WAVE_WIDTH={WAVE_WIDTH}",
@@ -91,15 +113,26 @@ pub fn msbfs_into(
         ws.seen[s.index()] |= 1u64 << b;
         ws.visit[s.index()] |= 1u64 << b;
     }
+    work.settled += sources.len() as u64;
 
     let mut level: u32 = 0;
     while !ws.frontier.is_empty() {
+        if level >= limit {
+            // Sources with a bit still live in the frontier's visit words
+            // were cut short; the rest had already drained.
+            let mut truncated = 0u64;
+            for fi in 0..ws.frontier.len() {
+                truncated |= ws.visit[ws.frontier[fi] as usize];
+            }
+            return truncated;
+        }
         level += 1;
         for fi in 0..ws.frontier.len() {
             let u = ws.frontier[fi] as usize;
             let vis = ws.visit[u];
             for &v in graph.neighbors(NodeId::new(u)) {
                 let v = v.index();
+                work.relaxed += 1;
                 let new = vis & !ws.seen[v];
                 if new != 0 {
                     if ws.next[v] == 0 {
@@ -107,6 +140,7 @@ pub fn msbfs_into(
                     }
                     ws.next[v] |= new;
                     ws.seen[v] |= new;
+                    work.settled += u64::from(new.count_ones());
                     let mut bits = new;
                     while bits != 0 {
                         rows[bits.trailing_zeros() as usize][v] = level;
@@ -130,6 +164,7 @@ pub fn msbfs_into(
         std::mem::swap(&mut ws.frontier, &mut ws.next_frontier);
         ws.next_frontier.clear();
     }
+    0
 }
 
 /// Allocating convenience wrapper: runs [`msbfs_into`] over `sources` in
@@ -206,6 +241,45 @@ mod tests {
         for (b, &s) in sources.iter().enumerate() {
             assert_eq!(rows[b], bfs(&g, s), "source {s}");
         }
+    }
+
+    #[test]
+    fn limited_with_inf_matches_unlimited() {
+        let g = sample();
+        let sources: Vec<NodeId> = g.nodes().collect();
+        let mut ws = MsBfsWorkspace::new();
+        let mut rows: Vec<Vec<u32>> = vec![Vec::new(); sources.len()];
+        let mut work = TraversalWork::new();
+        let truncated = msbfs_limited_into(&g, &sources, &mut rows, &mut ws, INF, &mut work);
+        assert_eq!(truncated, 0);
+        for (b, &s) in sources.iter().enumerate() {
+            assert_eq!(rows[b], bfs(&g, s), "source {s}");
+        }
+        assert!(work.settled > 0 && work.relaxed > 0);
+    }
+
+    #[test]
+    fn limited_truncates_per_source() {
+        // Path 0-1-2-3-4-5: from 0 the wave needs 5 levels, from 4 only 2
+        // (to the left it needs 4). Limit 2 truncates source 0 but the
+        // distances within the limit stay exact for every source.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let sources = [NodeId(0), NodeId(2)];
+        let mut ws = MsBfsWorkspace::new();
+        let mut rows = vec![Vec::new(), Vec::new()];
+        let mut work = TraversalWork::new();
+        let truncated = msbfs_limited_into(&g, &sources, &mut rows, &mut ws, 2, &mut work);
+        assert_eq!(rows[0], vec![0, 1, 2, INF, INF, INF]);
+        assert_eq!(rows[1], vec![2, 1, 0, 1, 2, INF]);
+        // Both sources still had live frontiers at the cutoff.
+        assert_eq!(truncated, 0b11);
+        // Limit 4: source 1 (node 2, eccentricity 3) has fully drained —
+        // its last discovery happened at level 3, so by the level-4 cutoff
+        // only source 0 still holds a live frontier node.
+        let truncated = msbfs_limited_into(&g, &sources, &mut rows, &mut ws, 4, &mut work);
+        assert_eq!(truncated, 0b01);
+        assert_eq!(rows[0], vec![0, 1, 2, 3, 4, INF]);
+        assert_eq!(rows[1], bfs(&g, NodeId(2)));
     }
 
     #[test]

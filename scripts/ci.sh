@@ -19,6 +19,11 @@ echo "==> cargo test -q [CP_SCAN_KERNEL=scalar]"
 # and its pruning must be a pure wall-clock optimization.
 CP_SCAN_KERNEL=scalar cargo test -q -p cp-core
 
+echo "==> cargo test -q [CP_SSSP_PRUNE=off]"
+# Matrix leg: the exhaustive SSSP reference — bound truncation and the
+# landmark pre-filter must be invisible in every result.
+CP_SSSP_PRUNE=off cargo test -q -p cp-core
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -30,6 +35,13 @@ cargo run --release -q -p cp-bench --bin pipeline_baseline -- \
 # at least one dataset reports a nonzero scan_chunks_skipped.
 grep -q '"scan_chunks_skipped": [1-9]' "$smoke_out" || {
     echo "ci.sh: no dataset skipped any Δ-scan chunks" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
+# The bound-pruning ladder must actually truncate somewhere: at least
+# one dataset's auto leg reports a nonzero rows_truncated.
+grep -q '"rows_truncated": [1-9]' "$smoke_out" || {
+    echo "ci.sh: no dataset truncated any t2 sweeps under CP_SSSP_PRUNE=auto" >&2
     rm -f "$smoke_out"
     exit 1
 }

@@ -142,6 +142,31 @@ fn budgeted_pairs_are_always_true_pairs() {
 }
 
 #[test]
+fn malformed_edge_lists_error_instead_of_panicking() {
+    // Regression: the I/O layer propagates structured errors through the
+    // crate facade — a bad input names its line, and a missing file is an
+    // I/O error, never a panic.
+    use converging_pairs::gen::io::{read_temporal, read_temporal_file, IoError};
+    let err = read_temporal("0 1\n2\n".as_bytes()).expect_err("truncated record must error");
+    assert!(
+        matches!(err, IoError::Parse { line: 2, .. }),
+        "wrong error: {err}"
+    );
+    assert!(err.to_string().contains("line 2"), "{err}");
+    assert!(
+        read_temporal("0 1 soon\n".as_bytes()).is_err(),
+        "non-numeric time column must be rejected"
+    );
+    assert!(
+        matches!(
+            read_temporal_file("/nonexistent/converging-pairs-input.txt"),
+            Err(IoError::Io(_))
+        ),
+        "missing file must surface as an I/O error"
+    );
+}
+
+#[test]
 fn temporal_io_roundtrip_preserves_experiment() {
     // Write the stream to disk, read it back, and check the exact answer
     // is identical — the I/O layer is faithful.
