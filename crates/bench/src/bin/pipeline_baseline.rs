@@ -53,6 +53,17 @@
 //! measured, however modest: on small graphs the truncated tail is
 //! cheap, so the work drop exceeds the time drop.
 //!
+//! **Phase 5 — streaming ladder** over a whole review sequence: the
+//! `cp-stream` engine replays each dataset's event stream across
+//! [`STREAM_CUTS`] (≥ 5 reviews, each under its own `2m` ledger) twice —
+//! with review-to-review cache chaining on (step *t*'s resident `t2` rows
+//! imported as step *t+1*'s `t1` donors) and off (the per-step rebuild the
+//! old monitor did). Pairs and ledgers are bit-identical by construction
+//! (the streaming conformance suite holds the engine to it); what moves is
+//! the donor/repair hit rate — the fraction of charged rows served by a
+//! chained donor or derived by snapshot-delta repair instead of a full
+//! sweep — and the pipeline wall clock, best of [`REPEATS`] ladder runs.
+//!
 //! Per sweep, three timings: `secs` (whole suite, end to end),
 //! `sssp_secs` (the oracle's distance-row computation, the path the
 //! kernels own), and `sssp_t2_secs` (its `G_t2` share, per-item summed —
@@ -73,7 +84,8 @@ use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, PipelineStats};
 use cp_gen::datasets::{DatasetKind, DatasetProfile, EVAL_SNAPSHOTS};
 use cp_graph::repair::snapshot_delta;
-use cp_graph::Graph;
+use cp_graph::{Graph, TemporalGraph};
+use cp_stream::{StreamConfig, StreamEngine, StreamError};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -229,6 +241,57 @@ struct PruneSummary {
     rows_truncated: u64,
 }
 
+/// One engine ladder run (phase 5): a full review sequence with chaining
+/// on or off, counters summed over all reviews.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+struct StreamSweep {
+    dataset: String,
+    /// `"chained"` (donor hand-off across reviews) or `"rebuilt"`
+    /// (per-step cache rebuild).
+    mode: String,
+    /// Reviews in the ladder.
+    reviews: u32,
+    /// Edge events accepted across the whole replay.
+    events: u64,
+    /// SSSPs charged across all reviews (identical across modes).
+    sssp_computed: u64,
+    /// Donor rows imported from the previous review's hand-off (0 when
+    /// rebuilt).
+    donor_rows_imported: u64,
+    /// Charged rows served straight from imported donors.
+    donor_chain_hits: u64,
+    /// `t2` rows derived by snapshot-delta repair.
+    repaired_rows: u64,
+    /// `(donor_chain_hits + repaired_rows) / sssp_computed`.
+    donor_hit_rate: f64,
+    /// Best-of-repeats budgeted-pipeline seconds summed over reviews.
+    pipeline_secs: f64,
+    /// Snapshot materialization seconds summed over reviews (identical
+    /// work in both modes; recorded for context).
+    advance_secs: f64,
+}
+
+/// Per-dataset chained-vs-rebuilt comparison (phase 5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct StreamSummary {
+    dataset: String,
+    /// Reviews in the ladder.
+    reviews: u32,
+    /// Donor/repair hit rate with chaining on.
+    chained_hit_rate: f64,
+    /// Donor/repair hit rate with per-step rebuild.
+    rebuilt_hit_rate: f64,
+    /// `chained_hit_rate - rebuilt_hit_rate` — strictly positive wherever
+    /// the hand-off served rows the rebuild had to sweep for.
+    hit_rate_gain: f64,
+    /// Pipeline seconds with chaining on.
+    chained_pipeline_secs: f64,
+    /// Pipeline seconds with per-step rebuild.
+    rebuilt_pipeline_secs: f64,
+    /// `rebuilt / chained` on pipeline seconds.
+    stream_speedup: f64,
+}
+
 /// Per-dataset Δ-scan kernel comparison (phase 3).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct ScanSummary {
@@ -263,6 +326,8 @@ struct Baseline {
     scan: Vec<ScanSummary>,
     prune_ladder: Vec<PruneSweep>,
     prune: Vec<PruneSummary>,
+    stream_ladder: Vec<StreamSweep>,
+    stream: Vec<StreamSummary>,
     /// Suite totals: scalar kernel, one thread, cache off (eval pair).
     scalar_single_secs: f64,
     /// Suite totals: optimized kernel, one thread, cache off (eval pair).
@@ -290,6 +355,14 @@ struct Baseline {
     /// Pruning off-vs-on on `sssp_secs`, summed over datasets — the
     /// honest wall-clock counterpart of `prune_relaxed_ratio`.
     prune_sssp_speedup: f64,
+    /// Donor/repair hit rate of the chained streaming ladder, summed over
+    /// datasets (phase 5).
+    stream_chained_hit_rate: f64,
+    /// Donor/repair hit rate of the per-step-rebuild ladder.
+    stream_rebuilt_hit_rate: f64,
+    /// Datasets where chaining reached a strictly higher hit rate than
+    /// the rebuild — the chain's reach across the review boundary.
+    stream_gain_datasets: usize,
     /// End-to-end speedup of the optimized parallel configuration over
     /// the scalar single-thread baseline.
     total_speedup: f64,
@@ -300,6 +373,11 @@ const REPEATS: u32 = 3;
 /// Phase 2's first-snapshot cut: the last 5 % of the stream is the delta,
 /// emulating a re-evaluation shortly after the previous one.
 const REPAIR_T1: f64 = 0.95;
+
+/// Phase 5's review schedule: the engine starts at the first cut and
+/// reviews at each subsequent one — five reviews over the stream's second
+/// half, tight enough (10 % deltas) that chained donors stay relevant.
+const STREAM_CUTS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 
 /// Phase 1 config slots (kernel, threads, cache): pre-optimization scalar,
 /// kernels-only, kernels + repair, everything at full threads.
@@ -424,6 +502,59 @@ fn run_prune_probe(
     (res.stats, res.pairs.len())
 }
 
+/// One full streaming ladder (phase 5): replays the dataset's events
+/// across [`STREAM_CUTS`] with the given chaining mode, returning summed
+/// per-review counters. Pairs/ledger are mode-invariant (conformance-
+/// tested); the pairs of each review are folded into a checksum so the
+/// caller can assert the two modes agreed.
+fn run_stream_ladder(t: &TemporalGraph, m: u64, seed: u64, chain: bool) -> (StreamSweep, u64) {
+    let prefix = |f: f64| ((f * t.num_events() as f64).ceil() as usize).min(t.num_events());
+    let mut cfg = StreamConfig::new(
+        m,
+        SelectorKind::Mmsd { landmarks: 10 },
+        TopKSpec::ThresholdFromMax { slack: 1 },
+        seed,
+    )
+    .with_chaining(chain);
+    cfg.threads = Some(1);
+    cfg.kernel = Some(BfsKernel::Auto);
+    cfg.row_cache = Some(RowCacheBudget::Unbounded);
+    let mut engine =
+        StreamEngine::from_snapshot(&t.snapshot_of_prefix(prefix(STREAM_CUTS[0])), cfg);
+    let mut sweep = StreamSweep {
+        mode: if chain { "chained" } else { "rebuilt" }.to_string(),
+        ..StreamSweep::default()
+    };
+    let mut checksum = 0u64;
+    for w in STREAM_CUTS.windows(2) {
+        for &e in &t.events()[prefix(w[0])..prefix(w[1])] {
+            match engine.ingest(e) {
+                Ok(_)
+                | Err(StreamError::DuplicateEdge { .. })
+                | Err(StreamError::SelfLoop { .. }) => {}
+                Err(err) => panic!("sorted dataset stream was rejected: {err}"),
+            }
+        }
+        let epoch = engine.review();
+        sweep.reviews += 1;
+        sweep.events += epoch.stats.events_ingested;
+        sweep.sssp_computed += epoch.stats.pipeline.sssp_computed;
+        sweep.donor_rows_imported += epoch.stats.donor_rows_imported;
+        sweep.donor_chain_hits += epoch.stats.donor_chain_hits;
+        sweep.repaired_rows += epoch.stats.repaired_rows;
+        sweep.pipeline_secs += epoch.stats.pipeline_secs;
+        sweep.advance_secs += epoch.stats.advance_secs;
+        for p in &epoch.result.pairs {
+            checksum = checksum.wrapping_mul(31).wrapping_add(
+                (u64::from(p.pair.0 .0) << 40) ^ (u64::from(p.pair.1 .0) << 8) ^ u64::from(p.delta),
+            );
+        }
+    }
+    sweep.donor_hit_rate =
+        (sweep.donor_chain_hits + sweep.repaired_rows) as f64 / sweep.sssp_computed.max(1) as f64;
+    (sweep, checksum)
+}
+
 fn main() {
     let opts = Options::from_env();
     let threads_multi = opts.threads.max(2);
@@ -452,6 +583,8 @@ fn main() {
     let mut scan: Vec<ScanSummary> = Vec::new();
     let mut prune_ladder: Vec<PruneSweep> = Vec::new();
     let mut prune: Vec<PruneSummary> = Vec::new();
+    let mut stream_ladder: Vec<StreamSweep> = Vec::new();
+    let mut stream: Vec<StreamSummary> = Vec::new();
     let mut totals = [0.0f64; 4];
     let mut sssp_totals = [0.0f64; 2]; // [scalar@1, auto@1] cache-off
     let mut t2_totals = [0.0f64; 2]; // phase 2: [cache-off, cache-on]
@@ -460,6 +593,8 @@ fn main() {
     let mut prune_sssp_totals = [0.0f64; 2]; // phase 4: [off, auto]
     let mut repair_speedup_max = 0.0f64;
     let mut scan_speedup_max = 0.0f64;
+    let mut stream_hit_totals = [[0u64; 2]; 2]; // [chained, rebuilt] × [hits, charged]
+    let mut stream_gain_datasets = 0usize;
 
     for kind in DatasetKind::ALL {
         let t = DatasetProfile::scaled(kind, opts.scale).generate(opts.seed);
@@ -729,6 +864,74 @@ fn main() {
             sssp_speedup,
             rows_truncated: auto_stats.rows_truncated,
         });
+
+        // ---- Phase 5: streaming ladder, chained vs per-step rebuild ----
+        let mut per_mode_stream = [StreamSweep::default(), StreamSweep::default()];
+        let mut checksums = [0u64; 2];
+        for (i, chain) in [true, false].into_iter().enumerate() {
+            let mut best: Option<(StreamSweep, u64)> = None;
+            for _ in 0..REPEATS {
+                let r = run_stream_ladder(&t, m, opts.seed, chain);
+                if best
+                    .as_ref()
+                    .map_or(true, |b| r.0.pipeline_secs < b.0.pipeline_secs)
+                {
+                    best = Some(r);
+                }
+            }
+            let (mut sweep, checksum) = best.expect("REPEATS >= 1");
+            sweep.dataset = name.to_string();
+            eprintln!(
+                "  {name} stream [{}] {} reviews, {} events: {:.4}s pipeline, {} SSSPs, \
+                 {} donors imported, {} chain hits + {} repairs ({:.0}% hit rate)",
+                sweep.mode,
+                sweep.reviews,
+                sweep.events,
+                sweep.pipeline_secs,
+                sweep.sssp_computed,
+                sweep.donor_rows_imported,
+                sweep.donor_chain_hits,
+                sweep.repaired_rows,
+                100.0 * sweep.donor_hit_rate,
+            );
+            checksums[i] = checksum;
+            per_mode_stream[i] = sweep.clone();
+            stream_ladder.push(sweep);
+        }
+        let [chained_run, rebuilt_run] = per_mode_stream;
+        assert_eq!(
+            checksums[0], checksums[1],
+            "{name}: chaining changed the reported pairs"
+        );
+        assert_eq!(
+            chained_run.sssp_computed, rebuilt_run.sssp_computed,
+            "{name}: chaining changed the ledger"
+        );
+        let stream_speedup =
+            rebuilt_run.pipeline_secs / chained_run.pipeline_secs.max(f64::MIN_POSITIVE);
+        eprintln!(
+            "  {name} stream ladder: hit rate {:.0}% chained vs {:.0}% rebuilt, \
+             {stream_speedup:.2}x pipeline wall clock",
+            100.0 * chained_run.donor_hit_rate,
+            100.0 * rebuilt_run.donor_hit_rate,
+        );
+        stream_hit_totals[0][0] += chained_run.donor_chain_hits + chained_run.repaired_rows;
+        stream_hit_totals[0][1] += chained_run.sssp_computed;
+        stream_hit_totals[1][0] += rebuilt_run.donor_chain_hits + rebuilt_run.repaired_rows;
+        stream_hit_totals[1][1] += rebuilt_run.sssp_computed;
+        if chained_run.donor_hit_rate > rebuilt_run.donor_hit_rate {
+            stream_gain_datasets += 1;
+        }
+        stream.push(StreamSummary {
+            dataset: name.to_string(),
+            reviews: chained_run.reviews,
+            chained_hit_rate: chained_run.donor_hit_rate,
+            rebuilt_hit_rate: rebuilt_run.donor_hit_rate,
+            hit_rate_gain: chained_run.donor_hit_rate - rebuilt_run.donor_hit_rate,
+            chained_pipeline_secs: chained_run.pipeline_secs,
+            rebuilt_pipeline_secs: rebuilt_run.pipeline_secs,
+            stream_speedup,
+        });
     }
 
     let baseline = Baseline {
@@ -746,6 +949,8 @@ fn main() {
         scan,
         prune_ladder,
         prune,
+        stream_ladder,
+        stream,
         scalar_single_secs: totals[SLOT_SCALAR],
         optimized_single_secs: totals[SLOT_AUTO],
         multi_thread_secs: totals[SLOT_MULTI],
@@ -757,6 +962,11 @@ fn main() {
         prune_relaxed_ratio: prune_relaxed_totals[0] as f64
             / (prune_relaxed_totals[1].max(1)) as f64,
         prune_sssp_speedup: prune_sssp_totals[0] / prune_sssp_totals[1].max(f64::MIN_POSITIVE),
+        stream_chained_hit_rate: stream_hit_totals[0][0] as f64
+            / stream_hit_totals[0][1].max(1) as f64,
+        stream_rebuilt_hit_rate: stream_hit_totals[1][0] as f64
+            / stream_hit_totals[1][1].max(1) as f64,
+        stream_gain_datasets,
         total_speedup: totals[SLOT_SCALAR] / totals[SLOT_MULTI].max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -767,7 +977,8 @@ fn main() {
          kernel); incremental t2 path {:.4}s repair-off vs {:.4}s repair-on ({:.2}x repair, \
          best dataset {:.2}x); Δ-scan path {:.4}s scalar vs {:.4}s blocked ({:.2}x scan, \
          best dataset {:.2}x); bound pruning {:.2}x fewer relaxed edges, {:.2}x sssp wall \
-         clock; suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads \
+         clock; streaming ladder hit rate {:.0}% chained vs {:.0}% rebuilt ({} datasets \
+         strictly ahead); suite {:.3}s vs {:.3}s single-thread, {:.3}s at {} threads \
          ({:.2}x total)",
         sssp_totals[0],
         sssp_totals[1],
@@ -782,6 +993,9 @@ fn main() {
         baseline.scan_speedup_max,
         baseline.prune_relaxed_ratio,
         baseline.prune_sssp_speedup,
+        100.0 * baseline.stream_chained_hit_rate,
+        100.0 * baseline.stream_rebuilt_hit_rate,
+        baseline.stream_gain_datasets,
         baseline.scalar_single_secs,
         baseline.optimized_single_secs,
         baseline.multi_thread_secs,

@@ -38,12 +38,12 @@
 //! * [`coverage`] — evaluation of a result against the exact ground truth.
 //! * [`experiment`] — the harness that regenerates every table and figure
 //!   of the paper's evaluation section.
-//! * [`monitor`] — an extension beyond the paper: continuous monitoring of
-//!   converging pairs over a whole snapshot sequence, each step under its
-//!   own budget, with per-pair persistence history.
-//! * [`estimate`] — another extension: certified Δ lower/upper bounds for
+//! * [`estimate`] — an extension beyond the paper: certified Δ lower/upper bounds for
 //!   arbitrary pairs from landmark rows alone (no per-pair SSSP), enabling
 //!   certify/rule-out/undecided triage of hypothesized pairs.
+//!
+//! Continuous monitoring over whole snapshot sequences lives in the
+//! `cp-stream` crate, built on this crate's oracle and pipeline.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -53,7 +53,6 @@ pub mod estimate;
 pub mod exact;
 pub mod experiment;
 pub mod gpk;
-pub mod monitor;
 pub mod oracle;
 pub mod scan;
 pub mod selectors;

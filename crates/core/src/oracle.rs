@@ -280,9 +280,11 @@ impl SsspPrune {
 ///
 /// `msbfs_rows + bfs_rows + dijkstra_rows + repair_rows` plus the oracle's
 /// [`SnapshotOracle::rows_prefiltered`] (rows charged but never computed,
-/// thanks to the landmark pre-filter) equals the number of fresh *charged*
-/// rows (= ledger total); free recomputations of evicted rows are counted
-/// by [`SnapshotOracle::recomputed_rows`] instead. `msbfs_waves` counts
+/// thanks to the landmark pre-filter) and
+/// [`SnapshotOracle::chained_rows`] (rows charged whose bytes arrived via
+/// a donor hand-off) equals the number of fresh *charged* rows (= ledger
+/// total); free recomputations of evicted rows are counted by
+/// [`SnapshotOracle::recomputed_rows`] instead. `msbfs_waves` counts
 /// graph sweeps, each covering up to 64 of the `msbfs_rows`. Truncated
 /// rows count normally here — a bound-truncated wave is still the wave
 /// that produced the row.
@@ -373,6 +375,35 @@ pub struct NodePrefetchReport {
     pub usable: Vec<NodeId>,
     /// Per-request accounting.
     pub rows: PrefetchReport,
+}
+
+/// Exact distance rows exported from one oracle's resident cache
+/// ([`SnapshotOracle::export_resident_rows`]), keyed by source node and
+/// sorted by id — the donor hand-off that chains successive streaming
+/// reviews (step *t*'s `t2` rows seed step *t+1*'s `t1` side, see
+/// [`SnapshotOracle::import_donor_rows`]).
+#[derive(Clone, Debug, Default)]
+pub struct RowHandoff {
+    num_nodes: usize,
+    /// `(source, exact u32 distance row)`, ascending by source.
+    rows: Vec<(u32, Vec<u32>)>,
+}
+
+impl RowHandoff {
+    /// Size of the node universe the rows were computed over.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of exported rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the hand-off carries no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
 }
 
 /// A resident row's arena slot, tagged with its storage width.
@@ -711,6 +742,7 @@ pub struct SnapshotOracle<'a> {
     repaired_rows: u64,
     repair_frontier: u64,
     recomputed_rows: u64,
+    chained_rows: u64,
 }
 
 impl<'a> SnapshotOracle<'a> {
@@ -767,6 +799,7 @@ impl<'a> SnapshotOracle<'a> {
             repaired_rows: 0,
             repair_frontier: 0,
             recomputed_rows: 0,
+            chained_rows: 0,
         }
     }
 
@@ -953,6 +986,84 @@ impl<'a> SnapshotOracle<'a> {
     /// under [`RowCacheBudget::Unbounded`]).
     pub fn recomputed_rows(&self) -> u64 {
         self.recomputed_rows
+    }
+
+    /// Rows charged to the ledger whose bytes were already resident from a
+    /// cross-oracle donor hand-off ([`Self::import_donor_rows`]): the row
+    /// is paid — the paper's cost model charges every first use — but no
+    /// kernel runs. Always 0 unless donors were imported.
+    pub fn chained_rows(&self) -> u64 {
+        self.chained_rows
+    }
+
+    /// Exports every resident **distance-exact** row of one snapshot
+    /// (truncated rows are skipped — their [`cp_graph::INF`] entries only
+    /// mean "beyond the prune depth"), widened to canonical `u32` and
+    /// sorted by source id. The streaming engine feeds step *t*'s `t2`
+    /// export into step *t+1*'s oracle as `t1` donors: the two oracles
+    /// index the *same* graph object, so the rows carry over exactly.
+    pub fn export_resident_rows(&self, which: Snapshot) -> RowHandoff {
+        let snap_bit = match which {
+            Snapshot::First => 0u64,
+            Snapshot::Second => 1u64 << 32,
+        };
+        let mut rows = Vec::new();
+        for &key in self.cache.resident.keys() {
+            if key & (1u64 << 32) != snap_bit {
+                continue;
+            }
+            let u = NodeId(key as u32);
+            let Some(r) = self.cache.get_exact_ref(which, u) else {
+                continue;
+            };
+            let mut wide = Vec::new();
+            match r {
+                RowRef::U32(row) => wide.extend_from_slice(row),
+                RowRef::U16(packed) => widen_u16_into(packed, &mut wide),
+            }
+            rows.push((u.0, wide));
+        }
+        rows.sort_unstable_by_key(|&(u, _)| u);
+        RowHandoff {
+            num_nodes: self.num_nodes(),
+            rows,
+        }
+    }
+
+    /// Seeds the resident cache with donor rows exported from another
+    /// oracle — resident but **unpaid**, so the first use of each row is
+    /// still charged to this oracle's own ledger (and then counted in
+    /// [`Self::chained_rows`] instead of running a kernel), and repair can
+    /// use the `t1` imports as donors for `t2` sweeps. Ledger, admission
+    /// order, and results are bit-identical with or without an import;
+    /// only the work done per charge changes.
+    ///
+    /// The caller asserts each row holds the exact distances of `which`'s
+    /// graph from its source. Rows already paid or resident are left
+    /// untouched; imports land through the normal LRU (so a byte budget
+    /// still holds) and, for [`Snapshot::First`] under active pruning,
+    /// record the donor's eccentricity so bound-truncation stays armed.
+    /// Configure pruning *before* importing. Returns the rows admitted.
+    ///
+    /// # Panics
+    /// Panics if the hand-off's node universe differs from this oracle's.
+    pub fn import_donor_rows(&mut self, which: Snapshot, handoff: &RowHandoff) -> u64 {
+        assert_eq!(
+            handoff.num_nodes,
+            self.num_nodes(),
+            "donor hand-off node universe mismatch"
+        );
+        let mut imported = 0u64;
+        for (u, row) in &handoff.rows {
+            let u = NodeId(*u);
+            if self.cache.is_paid(which, u) || self.cache.is_resident(which, u) {
+                continue;
+            }
+            self.record_ecc1(which, u, row);
+            self.cache.insert(which, u, row.clone());
+            imported += 1;
+        }
+        imported
     }
 
     /// Wall-clock seconds spent computing distance rows (single requests
@@ -1196,9 +1307,16 @@ impl<'a> SnapshotOracle<'a> {
         } else {
             self.charge()?;
             self.cache_misses += 1;
-            let dist = self.compute_one(which, u, true);
             self.cache.mark_paid(which, u);
-            self.cache.insert(which, u, dist);
+            if self.cache.get_exact_ref(which, u).is_some() {
+                // Imported donor row: charged on first use like any other
+                // row, but its bytes are already exact — no kernel runs.
+                self.chained_rows += 1;
+                self.cache.touch(which, u);
+            } else {
+                let dist = self.compute_one(which, u, true);
+                self.cache.insert(which, u, dist);
+            }
         }
         Ok(())
     }
@@ -1404,7 +1522,12 @@ impl<'a> SnapshotOracle<'a> {
             }
             self.cache_misses += 1;
             self.cache.mark_paid(which, u);
-            jobs.push((which, u.0));
+            if self.cache.get_exact_ref(which, u).is_some() {
+                self.chained_rows += 1;
+                self.cache.touch(which, u);
+            } else {
+                jobs.push((which, u.0));
+            }
             report.computed += 1;
         }
         self.compute_jobs(&jobs);
@@ -1458,6 +1581,9 @@ impl<'a> SnapshotOracle<'a> {
                 self.cache.mark_paid(Snapshot::First, u);
                 if prefiltered {
                     self.rows_prefiltered += 1;
+                } else if self.cache.get_exact_ref(Snapshot::First, u).is_some() {
+                    self.chained_rows += 1;
+                    self.cache.touch(Snapshot::First, u);
                 } else {
                     jobs.push((Snapshot::First, u.0));
                 }
@@ -1469,6 +1595,9 @@ impl<'a> SnapshotOracle<'a> {
                 self.cache.mark_paid(Snapshot::Second, u);
                 if prefiltered {
                     self.rows_prefiltered += 1;
+                } else if self.cache.get_exact_ref(Snapshot::Second, u).is_some() {
+                    self.chained_rows += 1;
+                    self.cache.touch(Snapshot::Second, u);
                 } else {
                     jobs.push((Snapshot::Second, u.0));
                 }
@@ -2335,5 +2464,79 @@ mod tests {
             assert_eq!(r2, e2.as_slice(), "t2 of {u:?}");
         }
         assert_eq!(o.ledger().total(), 10, "shared reads never charge");
+    }
+
+    #[test]
+    fn donor_handoff_chains_rows_across_oracles() {
+        // Three growing snapshots; step 1 reviews (g0, g1), step 2 reviews
+        // (g1, g2) with step 1's t2 residents imported as t1 donors.
+        let g0 = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3)]);
+        let (g1, g2) = graphs();
+        let mut step1 = SnapshotOracle::unbounded(&g0, &g1);
+        for u in g0.nodes() {
+            step1.rows(u).unwrap();
+        }
+        let handoff = step1.export_resident_rows(Snapshot::Second);
+        assert_eq!(handoff.len(), 5);
+        assert_eq!(handoff.num_nodes(), 5);
+        assert!(!handoff.is_empty());
+
+        let mut chained = SnapshotOracle::unbounded(&g1, &g2);
+        assert_eq!(chained.import_donor_rows(Snapshot::First, &handoff), 5);
+        let mut scratch = SnapshotOracle::unbounded(&g1, &g2);
+        for u in g1.nodes() {
+            let (c1, c2) = chained.rows(u).unwrap();
+            let (c1, c2) = (c1.to_vec(), c2.to_vec());
+            let (s1, s2) = scratch.rows(u).unwrap();
+            assert_eq!(c1, s1, "t1 of {u:?}");
+            assert_eq!(c2, s2, "t2 of {u:?}");
+        }
+        // Every charge is honest: the ledgers agree, but the chained
+        // oracle served all five t1 rows from the import without a kernel
+        // (its t2 rows were then repaired from those donors).
+        assert_eq!(chained.ledger().total(), scratch.ledger().total());
+        assert_eq!(chained.chained_rows(), 5);
+        assert_eq!(scratch.chained_rows(), 0);
+        let ks = chained.kernel_stats();
+        assert_eq!(
+            ks.msbfs_rows
+                + ks.bfs_rows
+                + ks.dijkstra_rows
+                + ks.repair_rows
+                + chained.rows_prefiltered()
+                + chained.chained_rows(),
+            chained.ledger().total(),
+            "charged-row invariant with chaining"
+        );
+    }
+
+    #[test]
+    fn donor_import_skips_paid_and_resident_rows() {
+        let (g1, g2) = graphs();
+        let mut donor = SnapshotOracle::unbounded(&g1, &g2);
+        for u in g1.nodes() {
+            donor.rows(u).unwrap();
+        }
+        // Exporting t1 of (g1, g2) and importing it back as t1 of another
+        // (g1, g2) oracle that already paid for node 0's rows.
+        let handoff = donor.export_resident_rows(Snapshot::First);
+        let mut o = SnapshotOracle::unbounded(&g1, &g2);
+        o.rows(NodeId(0)).unwrap();
+        assert_eq!(o.import_donor_rows(Snapshot::First, &handoff), 4);
+        o.rows(NodeId(0)).unwrap();
+        assert_eq!(o.chained_rows(), 0, "already-paid rows never chain");
+        o.rows(NodeId(1)).unwrap();
+        assert_eq!(o.chained_rows(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "universe mismatch")]
+    fn donor_import_rejects_foreign_universe() {
+        let (g1, g2) = graphs();
+        let donor = SnapshotOracle::unbounded(&g1, &g2);
+        let handoff = donor.export_resident_rows(Snapshot::First);
+        let h1 = graph_from_edges(3, &[(0, 1), (1, 2)]);
+        let h2 = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        SnapshotOracle::unbounded(&h1, &h2).import_donor_rows(Snapshot::First, &handoff);
     }
 }

@@ -110,6 +110,10 @@ pub struct PipelineStats {
     /// `M × V` pairs never scanned because the pre-filter dropped their
     /// candidate (`n − 1` per dropped candidate).
     pub pairs_prefiltered: u64,
+    /// Rows charged to the ledger whose bytes were already resident from a
+    /// cross-oracle donor hand-off (the streaming engine's review-to-review
+    /// cache chaining; 0 on the batch path).
+    pub chained_rows: u64,
 }
 
 /// Output of a budgeted run.
@@ -227,6 +231,7 @@ pub fn run_pipeline(
             rows_truncated: oracle.rows_truncated(),
             rows_prefiltered: oracle.rows_prefiltered(),
             pairs_prefiltered,
+            chained_rows: oracle.chained_rows(),
         },
     }
 }

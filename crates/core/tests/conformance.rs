@@ -176,7 +176,8 @@ fn pipeline_is_invariant_across_the_cache_matrix() {
                                     + ks.bfs_rows
                                     + ks.dijkstra_rows
                                     + ks.repair_rows
-                                    + got.stats.rows_prefiltered,
+                                    + got.stats.rows_prefiltered
+                                    + got.stats.chained_rows,
                                 got.budget.total(),
                                 "kernel counters diverge from the ledger: {ctx}"
                             );
@@ -454,7 +455,8 @@ fn pruning_is_invariant_across_the_matrix() {
                                         + ks.bfs_rows
                                         + ks.dijkstra_rows
                                         + ks.repair_rows
-                                        + got.stats.rows_prefiltered,
+                                        + got.stats.rows_prefiltered
+                                        + got.stats.chained_rows,
                                     got.budget.total(),
                                     "kernel counters diverge from the ledger: {ctx}"
                                 );
@@ -572,7 +574,8 @@ fn prefilter_skips_certified_candidates_on_identical_snapshots() {
             + ks.bfs_rows
             + ks.dijkstra_rows
             + ks.repair_rows
-            + auto.stats.rows_prefiltered,
+            + auto.stats.rows_prefiltered
+            + auto.stats.chained_rows,
         auto.budget.total(),
     );
 }

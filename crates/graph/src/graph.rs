@@ -61,7 +61,7 @@ impl From<u32> for NodeId {
 ///   weights are present.
 ///
 /// [`betweenness`]: crate::betweenness
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Graph {
     pub(crate) offsets: Vec<usize>,
     pub(crate) targets: Vec<NodeId>,

@@ -62,7 +62,7 @@ pub mod unionfind;
 
 pub use builder::GraphBuilder;
 pub use graph::{Graph, NodeId};
-pub use temporal::{TemporalGraph, TimedEdge};
+pub use temporal::{GraphAccumulator, PrefixCursor, TemporalGraph, TimedEdge};
 
 /// Sentinel distance meaning "unreachable".
 ///

@@ -275,3 +275,34 @@ proptest! {
         );
     }
 }
+
+proptest! {
+    /// A forward-only cursor over a random temporal stream cuts snapshots
+    /// bit-identical to the from-scratch builder path at every prefix —
+    /// including edge-id assignment (checked via `Graph` equality, which
+    /// covers `arc_edge`).
+    #[test]
+    fn prefix_cursor_matches_builder_snapshots(
+        (n, edges) in edge_list(30, 80),
+        cuts in prop::collection::vec(0usize..100, 1..6),
+    ) {
+        let pairs: Vec<_> = edges
+            .iter()
+            .map(|&(u, v)| (NodeId(u), NodeId(v)))
+            .collect();
+        let t = TemporalGraph::from_sequence(n, pairs);
+        let mut cuts = cuts;
+        cuts.sort_unstable();
+        let mut cursor = t.cursor();
+        for &cut in &cuts {
+            let count = cut.min(t.num_events());
+            cursor.advance_to_prefix(count);
+            // Reference: fold the same prefix through GraphBuilder.
+            let mut b = cp_graph::GraphBuilder::with_capacity(n, count);
+            for e in &t.events()[..count] {
+                b.add_edge(e.u, e.v);
+            }
+            prop_assert_eq!(cursor.materialize(), b.build(), "prefix {}", count);
+        }
+    }
+}

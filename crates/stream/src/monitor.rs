@@ -1,23 +1,21 @@
-//! Continuous monitoring of converging pairs over a snapshot sequence.
+//! Continuous monitoring of converging pairs over a snapshot sequence —
+//! the pre-engine API, kept as a thin wrapper over [`StreamEngine`].
 //!
 //! The paper analyses a single snapshot pair `(G_t1, G_t2)`; a deployed
 //! system watches a *stream* of snapshots `G_1 ⊆ G_2 ⊆ …` and wants, at
 //! every step, the pairs that converged since the last review — each step
-//! under its own SSSP budget. [`ConvergenceMonitor`] packages that loop:
-//! it holds the previous snapshot, runs the budgeted pipeline against each
-//! new one, and keeps per-pair history so callers can distinguish a pair
-//! that keeps converging step after step (the strongest signal in the
-//! paper's motivation scenarios) from a one-off jump.
-//!
-//! This is an extension beyond the paper (its "continuous evolution"
-//! framing, §1, is the motivation), built entirely from the paper's
-//! machinery.
+//! under its own SSSP budget. [`ConvergenceMonitor`] keeps that
+//! snapshot-at-a-time calling convention: [`ConvergenceMonitor::advance`]
+//! diffs the new snapshot against the engine's rolling one, ingests the
+//! new edges, and runs a review. Everything else — per-review ledger,
+//! donor-chained row cache, per-pair history — is the engine's.
 
-use crate::exact::{ConvergingPair, TopKSpec};
-use crate::selectors::SelectorKind;
-use crate::topk::{budgeted_top_k, BudgetedResult};
-use cp_graph::{Graph, NodeId};
-use std::collections::HashMap;
+use crate::engine::{StreamConfig, StreamEngine, StreamSnapshot};
+use cp_core::exact::{ConvergingPair, TopKSpec};
+use cp_core::selectors::SelectorKind;
+use cp_core::topk::BudgetedResult;
+use cp_graph::{Graph, NodeId, TemporalGraph, TimedEdge};
+use std::sync::Arc;
 
 /// Configuration of a monitoring loop.
 #[derive(Clone, Copy, Debug)]
@@ -30,6 +28,12 @@ pub struct MonitorConfig {
     pub spec: TopKSpec,
     /// Seed for the per-step selector instances (stepped deterministically).
     pub seed: u64,
+}
+
+impl MonitorConfig {
+    fn stream(self) -> StreamConfig {
+        StreamConfig::new(self.m, self.selector, self.spec, self.seed)
+    }
 }
 
 /// Aggregate history of one pair across monitoring steps.
@@ -55,31 +59,31 @@ pub struct MonitorStep {
 
 /// Watches a growing graph snapshot-by-snapshot (see module docs).
 pub struct ConvergenceMonitor {
-    config: MonitorConfig,
-    previous: Graph,
-    history: HashMap<(NodeId, NodeId), PairHistory>,
-    steps: u32,
+    engine: StreamEngine,
 }
 
 impl ConvergenceMonitor {
-    /// Starts monitoring from an initial snapshot.
+    /// Starts monitoring from an initial (unweighted) snapshot.
     pub fn new(initial: Graph, config: MonitorConfig) -> Self {
         ConvergenceMonitor {
-            config,
-            previous: initial,
-            history: HashMap::new(),
-            steps: 0,
+            engine: StreamEngine::from_snapshot(&initial, config.stream()),
         }
+    }
+
+    /// The underlying engine — for subscriptions, epoch readers, and
+    /// per-review [`crate::StreamStats`].
+    pub fn engine(&mut self) -> &mut StreamEngine {
+        &mut self.engine
     }
 
     /// Number of completed steps.
     pub fn steps(&self) -> u32 {
-        self.steps
+        self.engine.reviews()
     }
 
     /// The snapshot the next step will diff against.
     pub fn current_snapshot(&self) -> &Graph {
-        &self.previous
+        self.engine.current_graph()
     }
 
     /// Feeds the next snapshot; returns the pairs that converged since the
@@ -87,56 +91,61 @@ impl ConvergenceMonitor {
     ///
     /// # Panics
     /// Panics if the snapshot's node universe differs from the previous
-    /// one (grow the universe up front; `TemporalGraph` snapshots do).
+    /// one (grow the universe up front; `TemporalGraph` snapshots do), or
+    /// if the snapshot dropped edges — the engine's insert-only model
+    /// requires `G_t ⊆ G_{t+1}`, which the old rebuild-the-world loop
+    /// merely assumed.
     pub fn advance(&mut self, next: Graph) -> MonitorStep {
         assert_eq!(
-            self.previous.num_nodes(),
+            self.current_snapshot().num_nodes(),
             next.num_nodes(),
             "snapshots must share a node universe"
         );
-        self.steps += 1;
-        let mut selector = self
-            .config
-            .selector
-            .build(self.config.seed.wrapping_add(self.steps as u64));
-        let result = budgeted_top_k(
-            &self.previous,
-            &next,
-            selector.as_mut(),
-            self.config.m,
-            &self.config.spec,
-        );
-        for p in &result.pairs {
-            let h = self.history.entry(p.pair).or_default();
-            h.total_delta += p.delta;
-            h.times_seen += 1;
-            h.last_seen_step = self.steps;
+        let time = self.engine.watermark().unwrap_or(0);
+        for (u, v) in TemporalGraph::new_edges_between(self.current_snapshot(), &next) {
+            self.engine
+                .ingest(TimedEdge { u, v, time })
+                .expect("new_edges_between yields fresh in-universe edges");
         }
-        self.previous = next;
+        assert_eq!(
+            self.current_snapshot().num_edges() + self.engine.pending_events() as usize,
+            next.num_edges(),
+            "snapshots must grow: the monitor's insert-only model forbids edge removals"
+        );
+        let snap: Arc<StreamSnapshot> = self.engine.review();
         MonitorStep {
-            step: self.steps,
-            result,
+            step: snap.review,
+            result: snap.result.clone(),
         }
     }
 
     /// History of one pair, if it was ever reported.
     pub fn pair_history(&self, u: NodeId, v: NodeId) -> Option<PairHistory> {
-        let key = if u < v { (u, v) } else { (v, u) };
-        self.history.get(&key).copied()
+        self.engine.pair_history(u, v).map(|t| PairHistory {
+            total_delta: t.total_delta,
+            times_seen: t.times_seen,
+            last_seen_step: t.last_seen_review,
+        })
     }
 
     /// Pairs that have been reported in at least `min_steps` steps, sorted
     /// by total accumulated decrease (descending) — the "keeps converging"
     /// watch list.
     pub fn persistent_pairs(&self, min_steps: u32) -> Vec<(ConvergingPair, PairHistory)> {
-        let mut out: Vec<(ConvergingPair, PairHistory)> = self
-            .history
-            .iter()
-            .filter(|(_, h)| h.times_seen >= min_steps)
-            .map(|(&(u, v), &h)| (ConvergingPair::new(u, v, h.total_delta), h))
-            .collect();
-        out.sort_by(|a, b| b.0.delta.cmp(&a.0.delta).then(a.0.pair.cmp(&b.0.pair)));
-        out
+        self.engine
+            .persistent_pairs(min_steps)
+            .into_iter()
+            .map(|((u, v), t)| {
+                (
+                    ConvergingPair::new(u, v, t.total_delta),
+                    PairHistory {
+                        total_delta: t.total_delta,
+                        times_seen: t.times_seen,
+                        last_seen_step: t.last_seen_review,
+                    },
+                )
+            })
+            .collect()
     }
 }
 
@@ -218,5 +227,25 @@ mod tests {
         let small =
             TemporalGraph::from_sequence(3, vec![(NodeId(0), NodeId(1))]).snapshot_at_fraction(1.0);
         monitor.advance(small);
+    }
+
+    #[test]
+    #[should_panic(expected = "insert-only")]
+    fn shrinking_snapshot_panics() {
+        let snaps = snapshots();
+        let mut monitor = ConvergenceMonitor::new(snaps[1].clone(), config());
+        monitor.advance(snaps[0].clone());
+    }
+
+    #[test]
+    fn monitor_steps_chain_the_row_cache() {
+        let snaps = snapshots();
+        let mut monitor = ConvergenceMonitor::new(snaps[0].clone(), config());
+        monitor.advance(snaps[1].clone());
+        let step2 = monitor.advance(snaps[2].clone());
+        assert!(
+            step2.result.stats.chained_rows > 0,
+            "second step should reuse first step's t2 rows as donors"
+        );
     }
 }

@@ -1,0 +1,125 @@
+//! Subscriptions: standing queries evaluated at every review.
+//!
+//! A watch is registered once ([`crate::StreamEngine::watch_pair`] /
+//! [`crate::StreamEngine::watch_node`] /
+//! [`crate::StreamEngine::watch_topk`]) and fires [`StreamEvent`]s as part
+//! of each published epoch. Evaluation is deterministic: watches fire in
+//! registration order, and within a watch in the canonical pair order of
+//! the review's result.
+
+use cp_graph::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Handle of a registered watch (unique per engine, never reused).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WatchId(pub u64);
+
+/// What a watch looks for.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum WatchKind {
+    /// Fire when the reviewed result reports this pair with `Δ ≥ tau`.
+    Pair { a: NodeId, b: NodeId, tau: u32 },
+    /// Fire for every reported pair touching this node with `Δ ≥ tau`.
+    Node { node: NodeId, tau: u32 },
+    /// Fire when a pair enters or leaves the reported set between reviews.
+    TopK,
+}
+
+/// A registered watch.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Watch {
+    pub(crate) id: WatchId,
+    pub(crate) kind: WatchKind,
+}
+
+/// One subscription firing, delivered inside the review's
+/// [`crate::StreamSnapshot`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StreamEvent {
+    /// A watched pair converged by at least its threshold this review.
+    PairConverged {
+        /// The watch that fired.
+        watch: WatchId,
+        /// 1-based review index.
+        review: u32,
+        /// The normalized `(min, max)` pair.
+        pair: (NodeId, NodeId),
+        /// Its distance decrease this review.
+        delta: u32,
+    },
+    /// A reported pair touching a watched node cleared the threshold.
+    NodeConverged {
+        /// The watch that fired.
+        watch: WatchId,
+        /// 1-based review index.
+        review: u32,
+        /// The normalized `(min, max)` pair (one endpoint is the watched
+        /// node).
+        pair: (NodeId, NodeId),
+        /// Its distance decrease this review.
+        delta: u32,
+    },
+    /// A pair is reported this review that was not reported in the
+    /// previous one.
+    EnteredTopK {
+        /// The watch that fired.
+        watch: WatchId,
+        /// 1-based review index.
+        review: u32,
+        /// The normalized `(min, max)` pair.
+        pair: (NodeId, NodeId),
+        /// Its distance decrease this review.
+        delta: u32,
+    },
+    /// A pair reported in the previous review is absent from this one.
+    LeftTopK {
+        /// The watch that fired.
+        watch: WatchId,
+        /// 1-based review index.
+        review: u32,
+        /// The normalized `(min, max)` pair.
+        pair: (NodeId, NodeId),
+    },
+}
+
+impl StreamEvent {
+    /// The watch this event belongs to.
+    pub fn watch(&self) -> WatchId {
+        match *self {
+            StreamEvent::PairConverged { watch, .. }
+            | StreamEvent::NodeConverged { watch, .. }
+            | StreamEvent::EnteredTopK { watch, .. }
+            | StreamEvent::LeftTopK { watch, .. } => watch,
+        }
+    }
+
+    /// The pair the event is about.
+    pub fn pair(&self) -> (NodeId, NodeId) {
+        match *self {
+            StreamEvent::PairConverged { pair, .. }
+            | StreamEvent::NodeConverged { pair, .. }
+            | StreamEvent::EnteredTopK { pair, .. }
+            | StreamEvent::LeftTopK { pair, .. } => pair,
+        }
+    }
+}
+
+/// Aggregate history of one pair across reviews, including its streak of
+/// *consecutive* reviews reported (the "keeps converging" signal the
+/// paper's motivation scenarios care about).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairTrack {
+    /// Total distance decrease accumulated over all reviews where the
+    /// pair was reported.
+    pub total_delta: u32,
+    /// In how many reviews the pair was reported.
+    pub times_seen: u32,
+    /// The review index (1-based) of the last report.
+    pub last_seen_review: u32,
+    /// Consecutive reviews reported, ending at `last_seen_review` (a gap
+    /// resets the run; compare `last_seen_review` with the engine's
+    /// current review count to tell whether the streak is still live).
+    pub current_streak: u32,
+    /// The longest consecutive run ever observed for this pair.
+    pub longest_streak: u32,
+}

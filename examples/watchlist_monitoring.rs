@@ -1,81 +1,121 @@
-//! Watch-list monitoring with the classifier selector (the paper's
-//! criminal-network motivation): "in a criminal or terrorist network, it
-//! is critical to know which suspects have come closer to each other;
-//! such moves may be indications of future actions or coalitions."
+//! Watch-list monitoring over a live stream (the paper's criminal-network
+//! motivation): "in a criminal or terrorist network, it is critical to know
+//! which suspects have come closer to each other; such moves may be
+//! indications of future actions or coalitions."
 //!
-//! An analyst sees periodic snapshots of a covert communication network
-//! and can afford a handful of full trace-routes (SSSP probes) per review
-//! cycle. The example trains the local classifier on an *earlier* pair of
-//! snapshots and uses it to spend the probe budget on the next cycle,
-//! comparing against the best single-feature heuristic.
+//! An analyst observes a covert communication network as a stream of edge
+//! events and can afford a handful of full trace-routes (SSSP probes) per
+//! review cycle. Instead of hand-rolling history over batch runs, the
+//! analyst registers subscriptions on a [`StreamEngine`] — per-suspect
+//! `watch_node` alerts plus a `watch_topk` feed — and lets the review
+//! policy fire automatically every fixed number of accepted events.
 //!
 //! ```text
 //! cargo run --release --example watchlist_monitoring
 //! ```
 
-use converging_pairs::core::experiment::{run_kind, run_selector, Snapshots};
-use converging_pairs::core::selectors::{ClassifierConfig, SelectorKind};
 use converging_pairs::gen::forest_fire::forest_fire;
 use converging_pairs::gen::seeded_rng;
+use converging_pairs::prelude::*;
+use converging_pairs::stream::StreamError;
 
 fn main() {
     // Covert networks grow by recruitment with occasional cross-cell
     // contact — the forest-fire model's burn pattern is a reasonable
     // stand-in and is what the dynamic-graph literature often uses.
     let temporal = forest_fire(3_000, 0.32, &mut seeded_rng(17));
-    let mut snaps = Snapshots::from_temporal("covert-net", &temporal, 4);
+    let events = temporal.events();
+    let observed = (events.len() * 2) / 5; // 40 % of the stream already seen
+    let first = temporal.snapshot_of_prefix(observed);
     println!(
-        "covert network: {} members, {} -> {} observed links",
-        snaps.g1.num_active_nodes(),
-        snaps.g1.num_edges(),
-        snaps.g2.num_edges()
+        "covert network: {} members, {} observed links, {} events still to arrive",
+        first.num_active_nodes(),
+        first.num_edges(),
+        events.len() - observed
     );
 
-    let slack = 1;
-    {
-        let truth = snaps.truth(slack);
+    // Probe budget m is 1 % of the membership; a review fires on its own
+    // every `chunk` accepted events.
+    let m = (first.num_nodes() as u64) / 100;
+    let chunk = (events.len() - observed) / 5;
+    let config = StreamConfig::new(
+        m,
+        SelectorKind::Mmsd { landmarks: 10 },
+        TopKSpec::Threshold { delta_min: 2 },
+        17,
+    )
+    .with_policy(ReviewPolicy::EveryEvents(chunk));
+    let mut engine = StreamEngine::from_snapshot(&first, config);
+
+    // The watch list: the five best-connected members are the suspects.
+    let mut suspects: Vec<NodeId> = first.nodes().collect();
+    suspects.sort_by_key(|&u| std::cmp::Reverse(first.degree(u)));
+    suspects.truncate(5);
+    for &s in &suspects {
+        engine.watch_node(s, 2);
+    }
+    engine.watch_topk();
+    println!(
+        "watching suspects {:?} (alert when a suspect pair draws >= 2 hops closer)\n",
+        suspects.iter().map(|s| s.0).collect::<Vec<_>>()
+    );
+
+    // Replay the rest of the stream; the policy cuts the reviews.
+    let mut rejected = 0u64;
+    for &e in &events[observed..] {
+        match engine.ingest(e) {
+            Ok(None) => {}
+            Ok(Some(epoch)) => {
+                println!(
+                    "review {} after {} fresh links ({} SSSPs spent, {} pairs reported, \
+                     donor-chain hit rate {:.0}%):",
+                    epoch.review,
+                    epoch.stats.events_ingested,
+                    epoch.result.budget.total(),
+                    epoch.result.pairs.len(),
+                    100.0 * epoch.stats.donor_hit_rate
+                );
+                for ev in epoch.events.iter().take(6) {
+                    match ev {
+                        StreamEvent::NodeConverged { pair, delta, .. } => println!(
+                            "    ALERT suspect pair ({}, {}) drew {} hops closer",
+                            pair.0, pair.1, delta
+                        ),
+                        StreamEvent::EnteredTopK { pair, delta, .. } => println!(
+                            "    entered top-k: ({}, {}) delta {}",
+                            pair.0, pair.1, delta
+                        ),
+                        StreamEvent::LeftTopK { pair, .. } => {
+                            println!("    left top-k: ({}, {})", pair.0, pair.1)
+                        }
+                        StreamEvent::PairConverged { .. } => {}
+                    }
+                }
+                if epoch.events.len() > 6 {
+                    println!("    ... and {} more events", epoch.events.len() - 6);
+                } else if epoch.events.is_empty() {
+                    println!("    (no subscription events this cycle)");
+                }
+            }
+            Err(StreamError::DuplicateEdge { .. }) => rejected += 1,
+            Err(err) => panic!("stream violated the insert-only model: {err}"),
+        }
+    }
+
+    println!(
+        "\nstream drained: {} reviews, {} duplicate announcements rejected",
+        engine.reviews(),
+        rejected
+    );
+    println!("persistent pairs (reported in more than one review):");
+    let persistent = engine.persistent_pairs(2);
+    if persistent.is_empty() {
+        println!("  none — every detected convergence was a single event");
+    }
+    for ((u, v), track) in persistent.iter().take(5) {
         println!(
-            "ground truth: {} pairs converged by >= {} hops (delta_max {})",
-            truth.k(),
-            truth.delta_min,
-            truth.delta_max
+            "  ({}, {}): total decrease {} over {} reviews, longest streak {}",
+            u, v, track.total_delta, track.times_seen, track.longest_streak
         );
     }
-
-    // Train the classifier on the 40 %/60 % history the analyst already
-    // holds; the probe budget m is 1 % of the membership.
-    let m = (snaps.g1.num_nodes() as u64) / 100;
-    let config = ClassifierConfig {
-        landmarks: 10,
-        slack,
-        threads: 4,
-        ..ClassifierConfig::default()
-    };
-    let mut classifier = snaps.local_classifier(config, 17);
-    let row = run_selector(&mut snaps, &mut classifier, m, slack);
-    println!(
-        "\nL-Classifier @ m = {m}: {:.1}% of the converging suspect pairs found \
-         ({} SSSP probes: {} on features, {} on candidates)",
-        100.0 * row.coverage,
-        row.budget.total(),
-        row.budget.generation,
-        row.budget.topk
-    );
-
-    // Compare against each single-feature heuristic at the same budget.
-    println!("\nsingle-feature heuristics at the same budget:");
-    let mut best = ("-", -1.0f64);
-    for kind in SelectorKind::table5_suite() {
-        let r = run_kind(&mut snaps, kind, m, slack, 17);
-        if r.coverage > best.1 {
-            best = (kind.name(), r.coverage);
-        }
-        println!("  {:>8}: {:>5.1}%", kind.name(), 100.0 * r.coverage);
-    }
-    println!(
-        "\nbest heuristic: {} at {:.1}% — the classifier should be close \
-         without knowing in advance which heuristic fits this network.",
-        best.0,
-        100.0 * best.1
-    );
 }

@@ -45,6 +45,13 @@ grep -q '"rows_truncated": [1-9]' "$smoke_out" || {
     rm -f "$smoke_out"
     exit 1
 }
+# The streaming ladder must actually chain: at least one chained review
+# sequence serves charged rows straight from imported donor rows.
+grep -q '"donor_chain_hits": [1-9]' "$smoke_out" || {
+    echo "ci.sh: no streaming review ever hit a chained donor row" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
 rm -f "$smoke_out"
 
 echo "==> cargo fmt --check"

@@ -22,6 +22,9 @@
 //! * [`core`] (`cp-core`) — the paper's algorithms: exact baseline,
 //!   `G^p_k` pair graph + greedy cover, budgeted top-k pipeline, selectors,
 //!   coverage evaluation and the experiment runner.
+//! * [`stream`] (`cp-stream`) — the streaming convergence engine: edge
+//!   events in, budgeted reviews out on a policy, row cache chained across
+//!   reviews, subscription watches, immutable published epochs.
 //!
 //! ## Quickstart
 //!
@@ -51,15 +54,18 @@ pub use cp_core as core;
 pub use cp_gen as gen;
 pub use cp_graph as graph;
 pub use cp_ml as ml;
+pub use cp_stream as stream;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {
     pub use cp_core::coverage::coverage;
     pub use cp_core::exact::{exact_top_k, ConvergingPair, ExactTopK, TopKSpec};
     pub use cp_core::gpk::PairGraph;
-    pub use cp_core::monitor::{ConvergenceMonitor, MonitorConfig};
     pub use cp_core::selectors::{CandidateSelector, SelectorKind};
     pub use cp_core::topk::{budgeted_top_k, BudgetedResult};
     pub use cp_gen::datasets::{DatasetKind, DatasetProfile};
-    pub use cp_graph::{Graph, GraphBuilder, NodeId, TemporalGraph, INF};
+    pub use cp_graph::{Graph, GraphBuilder, NodeId, TemporalGraph, TimedEdge, INF};
+    pub use cp_stream::{
+        ConvergenceMonitor, MonitorConfig, ReviewPolicy, StreamConfig, StreamEngine, StreamEvent,
+    };
 }

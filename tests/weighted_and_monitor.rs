@@ -2,9 +2,9 @@
 //! problem on "undirected (weighted) graphs" even though its evaluation is
 //! unweighted) and for the continuous-monitoring extension.
 
-use converging_pairs::core::monitor::{ConvergenceMonitor, MonitorConfig};
 use converging_pairs::graph::GraphBuilder;
 use converging_pairs::prelude::*;
+use converging_pairs::stream::{ConvergenceMonitor, MonitorConfig};
 
 /// Builds a weighted path 0-1-...-last with the given per-edge weight,
 /// plus optional extra weighted edges.
