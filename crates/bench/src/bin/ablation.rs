@@ -1,4 +1,4 @@
-//! Ablation studies for the design choices DESIGN.md §8 calls out:
+//! Ablation studies for the design choices DESIGN.md §10 calls out:
 //!
 //! 1. landmark count `l` (the paper fixes 10 and reports that more did not
 //!    help) — coverage at a fixed budget as `l` varies;

@@ -4,8 +4,9 @@
 //! paper's evaluation section (see DESIGN.md §5 for the index). They share
 //! command-line conventions:
 //!
-//! * `--scale=F`   — dataset scale in `(0, 1]`; `1.0` matches the paper's
-//!   graph sizes, the default `0.25` keeps a full run to a few minutes.
+//! * `--scale=F`   — dataset scale in `(0, 4]`; `1.0` matches the paper's
+//!   graph sizes (larger values over-scale them for headroom probes), the
+//!   default `0.25` keeps a full run to a few minutes.
 //! * `--seed=N`    — generator seed (default 42).
 //! * `--threads=N` — BFS worker threads (default: available parallelism).
 //! * `--json`      — additionally emit rows as JSON lines on stdout.
@@ -22,7 +23,7 @@ use cp_gen::datasets::{DatasetKind, DatasetProfile};
 /// Parsed common command-line options.
 #[derive(Clone, Debug)]
 pub struct Options {
-    /// Dataset scale in `(0, 1]`.
+    /// Dataset scale in `(0, 4]`.
     pub scale: f64,
     /// Generator seed.
     pub seed: u64,
@@ -47,22 +48,50 @@ impl Default for Options {
     }
 }
 
+/// The largest accepted `--scale`: past the paper's sizes there is
+/// headroom for over-scaled probes, but a fat-fingered `--scale=40`
+/// should fail fast instead of generating for an hour.
+pub const MAX_SCALE: f64 = 4.0;
+
 impl Options {
-    /// Parses `--key=value` style arguments; unknown arguments abort with
-    /// a usage message.
+    /// Parses `--key=value` style arguments; unknown or out-of-range
+    /// arguments abort with a usage message. `--help` exits 0.
     pub fn parse(args: impl Iterator<Item = String>) -> Options {
+        match Self::try_parse(args) {
+            Ok(opts) => opts,
+            Err(msg) => usage(&msg),
+        }
+    }
+
+    /// The fallible core of [`Options::parse`]: every rejection comes
+    /// back as an `Err` naming the offending argument and the accepted
+    /// range, so binaries (and the unit tests) see the same diagnostics
+    /// the user does.
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<Options, String> {
         let mut opts = Options::default();
         for arg in args {
             if let Some(v) = arg.strip_prefix("--scale=") {
-                opts.scale = v.parse().unwrap_or_else(|_| usage(&arg));
-                assert!(
-                    opts.scale > 0.0 && opts.scale <= 1.0,
-                    "--scale must be in (0, 1]"
-                );
+                opts.scale = v
+                    .parse()
+                    .map_err(|_| format!("unparseable argument: {arg}"))?;
+                if !(opts.scale > 0.0 && opts.scale <= MAX_SCALE) {
+                    return Err(format!(
+                        "--scale must be in (0, {MAX_SCALE}], got {}",
+                        opts.scale
+                    ));
+                }
             } else if let Some(v) = arg.strip_prefix("--seed=") {
-                opts.seed = v.parse().unwrap_or_else(|_| usage(&arg));
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| format!("unparseable argument: {arg}"))?;
             } else if let Some(v) = arg.strip_prefix("--threads=") {
-                opts.threads = v.parse().unwrap_or_else(|_| usage(&arg));
+                let threads: i64 = v
+                    .parse()
+                    .map_err(|_| format!("unparseable argument: {arg}"))?;
+                if threads <= 0 {
+                    return Err(format!("--threads must be positive, got {threads}"));
+                }
+                opts.threads = threads as usize;
             } else if let Some(v) = arg.strip_prefix("--out=") {
                 opts.out = Some(v.to_string());
             } else if arg == "--json" {
@@ -71,10 +100,10 @@ impl Options {
                 eprintln!("options: --scale=F --seed=N --threads=N --json --out=PATH");
                 std::process::exit(0);
             } else {
-                usage(&arg);
+                return Err(format!("unrecognized argument: {arg}"));
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Parses from `std::env::args()`.
@@ -97,8 +126,8 @@ impl Options {
     }
 }
 
-fn usage(arg: &str) -> ! {
-    eprintln!("unrecognized argument: {arg}");
+fn usage(msg: &str) -> ! {
+    eprintln!("{msg}");
     eprintln!("options: --scale=F --seed=N --threads=N --json --out=PATH");
     std::process::exit(2);
 }
@@ -174,9 +203,52 @@ mod tests {
     #[test]
     fn defaults_are_sane() {
         let opts = Options::default();
-        assert!(opts.scale > 0.0 && opts.scale <= 1.0);
+        assert!(opts.scale > 0.0 && opts.scale <= MAX_SCALE);
         assert!(opts.threads >= 1);
         assert!(!opts.json);
+    }
+
+    fn try_parse_one(arg: &str) -> Result<Options, String> {
+        Options::try_parse([arg].iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn try_parse_rejects_out_of_range_scale() {
+        for bad in ["--scale=0", "--scale=-0.5", "--scale=4.01", "--scale=40"] {
+            let err = try_parse_one(bad).expect_err(bad);
+            assert!(err.contains("--scale"), "{bad}: {err}");
+            assert!(err.contains("(0, 4]"), "{bad}: {err}");
+        }
+        for bad in ["--scale=", "--scale=fast", "--scale=NaN1"] {
+            let err = try_parse_one(bad).expect_err(bad);
+            assert!(err.contains("unparseable"), "{bad}: {err}");
+        }
+        // NaN fails every range comparison and is rejected too.
+        assert!(try_parse_one("--scale=NaN").is_err());
+    }
+
+    #[test]
+    fn try_parse_accepts_the_full_scale_range() {
+        assert_eq!(try_parse_one("--scale=0.01").unwrap().scale, 0.01);
+        assert_eq!(try_parse_one("--scale=1.0").unwrap().scale, 1.0);
+        assert_eq!(try_parse_one("--scale=4.0").unwrap().scale, 4.0);
+    }
+
+    #[test]
+    fn try_parse_rejects_non_positive_threads() {
+        for bad in ["--threads=0", "--threads=-2"] {
+            let err = try_parse_one(bad).expect_err(bad);
+            assert!(err.contains("--threads must be positive"), "{bad}: {err}");
+        }
+        let err = try_parse_one("--threads=two").expect_err("word");
+        assert!(err.contains("unparseable"), "{err}");
+        assert_eq!(try_parse_one("--threads=1").unwrap().threads, 1);
+    }
+
+    #[test]
+    fn try_parse_rejects_unknown_arguments() {
+        let err = try_parse_one("--store=overlay").expect_err("unknown flag");
+        assert!(err.contains("unrecognized argument: --store=overlay"));
     }
 
     #[test]

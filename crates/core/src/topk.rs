@@ -13,7 +13,8 @@
 
 use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
 use crate::oracle::{
-    ArenaStats, BfsKernel, BudgetLedger, KernelStats, Phase, RowScratch, SnapshotOracle, SsspPrune,
+    ArenaStats, BfsKernel, BudgetLedger, GraphMemStats, GraphStore, KernelStats, Phase, RowScratch,
+    SnapshotOracle, SsspPrune,
 };
 use crate::scan::{scan_delta_row, ScanCounters, ScanKernel};
 use crate::selectors::CandidateSelector;
@@ -114,6 +115,12 @@ pub struct PipelineStats {
     /// cross-oracle donor hand-off (the streaming engine's review-to-review
     /// cache chaining; 0 on the batch path).
     pub chained_rows: u64,
+    /// The snapshot storage layout the oracle's kernels traversed
+    /// (`full` | `overlay` | `compressed`).
+    pub graph_store: GraphStore,
+    /// Heap bytes of the graph structures the kernels traversed, split by
+    /// store role (base CSR / overlay extras / compressed adjacency).
+    pub graph_mem: GraphMemStats,
 }
 
 /// Output of a budgeted run.
@@ -232,6 +239,8 @@ pub fn run_pipeline(
             rows_prefiltered: oracle.rows_prefiltered(),
             pairs_prefiltered,
             chained_rows: oracle.chained_rows(),
+            graph_store: oracle.graph_store(),
+            graph_mem: oracle.graph_mem_stats(),
         },
     }
 }

@@ -15,7 +15,7 @@
 //! node (an endpoint of a new edge).
 
 use cp_core::exact::{exact_top_k, exact_top_k_with_kernel, TopKSpec};
-use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle, SsspPrune};
+use cp_core::oracle::{BfsKernel, GraphStore, RowCacheBudget, SnapshotOracle, SsspPrune};
 use cp_core::scan::ScanKernel;
 use cp_core::selectors::{active_nodes, incidence_full, SelectorKind};
 use cp_core::topk::{run_pipeline, BudgetedResult};
@@ -577,6 +577,159 @@ fn prefilter_skips_certified_candidates_on_identical_snapshots() {
             + auto.stats.rows_prefiltered
             + auto.stats.chained_rows,
         auto.budget.total(),
+    );
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_store_config(
+    g1: &Graph,
+    g2: &Graph,
+    kind: SelectorKind,
+    m: u64,
+    spec: &TopKSpec,
+    store: GraphStore,
+    threads: usize,
+    kernel: BfsKernel,
+    cache: RowCacheBudget,
+    prune: SsspPrune,
+) -> BudgetedResult {
+    let mut oracle = SnapshotOracle::with_budget(g1, g2, 2 * m)
+        .with_graph_store(store)
+        .with_threads(threads)
+        .with_kernel(kernel)
+        .with_row_cache(cache)
+        .with_prune(prune);
+    let mut sel = kind.build(3);
+    run_pipeline(&mut oracle, sel.as_mut(), spec)
+}
+
+/// The `CP_GRAPH_STORE` axis: the overlay (base CSR + insertion deltas)
+/// and gap-compressed stores re-encode the *same* adjacency in the same
+/// neighbor order, so pairs, candidates, and the ledger are bit-identical
+/// to the full-CSR reference across selectors, threads, kernels, cache
+/// budgets, and pruning modes. Storage moves graph memory, never results.
+#[test]
+fn pipeline_is_invariant_across_graph_stores() {
+    let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+    for (name, t) in generator_cases() {
+        let (g1, g2) = t.snapshot_pair(0.7, 1.0);
+        for kind in [SelectorKind::Degree, SelectorKind::Mmsd { landmarks: 3 }] {
+            let reference = run_store_config(
+                &g1,
+                &g2,
+                kind,
+                12,
+                &spec,
+                GraphStore::Full,
+                1,
+                BfsKernel::Scalar,
+                RowCacheBudget::Bytes(0),
+                SsspPrune::Off,
+            );
+            for store in [
+                GraphStore::Full,
+                GraphStore::Overlay,
+                GraphStore::Compressed,
+            ] {
+                for threads in [1usize, 2, 8] {
+                    for kernel in [BfsKernel::Scalar, BfsKernel::Auto] {
+                        for cache in [RowCacheBudget::Bytes(0), RowCacheBudget::Unbounded] {
+                            for prune in [SsspPrune::Off, SsspPrune::Auto] {
+                                let got = run_store_config(
+                                    &g1, &g2, kind, 12, &spec, store, threads, kernel, cache, prune,
+                                );
+                                let ctx = format!(
+                                    "{name}/{}/store={}/threads={threads}/{}/cache={}/prune={}",
+                                    kind.name(),
+                                    store.name(),
+                                    kernel.name(),
+                                    cache.describe(),
+                                    prune.name(),
+                                );
+                                assert_eq!(got.pairs, reference.pairs, "pairs diverge: {ctx}");
+                                assert_eq!(
+                                    got.candidates, reference.candidates,
+                                    "candidates diverge: {ctx}"
+                                );
+                                assert_eq!(got.budget, reference.budget, "ledger diverges: {ctx}");
+                                assert_eq!(
+                                    got.stats.graph_store, store,
+                                    "store not recorded: {ctx}"
+                                );
+                                let mem = got.stats.graph_mem;
+                                assert!(mem.base_bytes > 0, "no base bytes: {ctx}");
+                                match store {
+                                    GraphStore::Full => {
+                                        assert_eq!(mem.overlay_bytes, 0, "{ctx}");
+                                        assert_eq!(mem.compressed_bytes, 0, "{ctx}");
+                                    }
+                                    GraphStore::Overlay => {
+                                        // Growth-only snapshot pairs must
+                                        // actually share the base CSR.
+                                        assert!(
+                                            mem.overlay_shared_arcs > 0,
+                                            "overlay shares no arcs: {ctx}"
+                                        );
+                                    }
+                                    GraphStore::Compressed => {
+                                        assert!(mem.compressed_bytes > 0, "{ctx}");
+                                        assert!(mem.compressed_bytes_per_arc > 0.0, "{ctx}");
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The overlay store's O(Δ) delta fast path (`OverlayGraph::to_delta`)
+/// must drive snapshot-delta repair exactly like the O(E) containment
+/// scan of the full store: not just the same visible results, but the
+/// same repaired-row counters and kernel-row split, run for run.
+#[test]
+fn overlay_fast_path_repairs_identically_to_the_slow_scan() {
+    let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+    let mut repaired_somewhere = false;
+    for (name, t) in generator_cases() {
+        let (g1, g2) = t.snapshot_pair(0.7, 1.0);
+        let run = |store: GraphStore| {
+            run_store_config(
+                &g1,
+                &g2,
+                SelectorKind::Mmsd { landmarks: 3 },
+                12,
+                &spec,
+                store,
+                1,
+                BfsKernel::Auto,
+                RowCacheBudget::Unbounded,
+                SsspPrune::Off,
+            )
+        };
+        let full = run(GraphStore::Full);
+        let overlay = run(GraphStore::Overlay);
+        assert_eq!(overlay.pairs, full.pairs, "{name}: pairs diverge");
+        assert_eq!(
+            overlay.candidates, full.candidates,
+            "{name}: candidates diverge"
+        );
+        assert_eq!(overlay.budget, full.budget, "{name}: ledger diverges");
+        assert_eq!(
+            overlay.stats.repaired_rows, full.stats.repaired_rows,
+            "{name}: repair counters diverge"
+        );
+        assert_eq!(
+            overlay.stats.kernel_stats, full.stats.kernel_stats,
+            "{name}: kernel-row split diverges"
+        );
+        repaired_somewhere |= overlay.stats.repaired_rows > 0;
+    }
+    assert!(
+        repaired_somewhere,
+        "no generator ever exercised the repair path under the overlay store"
     );
 }
 

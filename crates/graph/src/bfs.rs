@@ -22,7 +22,8 @@
 //! The implementation avoids per-call allocation via [`BfsWorkspace`] so
 //! that the cost model reflects graph traversal, not allocator churn.
 
-use crate::graph::{Graph, NodeId};
+use crate::csr::GraphView;
+use crate::graph::NodeId;
 use crate::INF;
 
 /// Work performed by a traversal kernel, accumulated across calls.
@@ -93,7 +94,7 @@ impl BfsWorkspace {
 /// `dist` is resized to `graph.num_nodes()` and fully overwritten;
 /// unreachable nodes get [`INF`]. The result is bit-identical to
 /// [`bfs_scalar_into`] — only the wall clock differs.
-pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWorkspace) {
+pub fn bfs_into<V: GraphView>(graph: &V, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWorkspace) {
     bfs_limited_into(graph, src, dist, ws, INF, &mut TraversalWork::new());
 }
 
@@ -105,8 +106,8 @@ pub fn bfs_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWor
 /// [`bfs_into`]. Returns `true` iff the traversal was actually cut short
 /// (the frontier was still non-empty at the cutoff). `work` accumulates
 /// settled nodes and examined adjacency entries across the call.
-pub fn bfs_limited_into(
-    graph: &Graph,
+pub fn bfs_limited_into<V: GraphView>(
+    graph: &V,
     src: NodeId,
     dist: &mut Vec<u32>,
     ws: &mut BfsWorkspace,
@@ -126,6 +127,15 @@ pub fn bfs_limited_into(
         return top_down_limited(graph, dist, ws, limit, work);
     }
 
+    // Split the workspace into disjoint field borrows so the traversal
+    // closures can mutate one buffer while another is being iterated.
+    let BfsWorkspace {
+        frontier,
+        next,
+        front_bits,
+        next_bits,
+    } = ws;
+
     let total_arcs = graph.num_arcs();
     let mut frontier_edges = graph.degree(src);
     let mut remaining_edges = total_arcs - frontier_edges;
@@ -142,20 +152,20 @@ pub fn bfs_limited_into(
         if !bottom_up && frontier_edges * ALPHA > remaining_edges {
             // Frontier is edge-heavy: scanning unvisited nodes for a parent
             // is cheaper than expanding the frontier's adjacency.
-            ws.front_bits.clear();
-            ws.front_bits.resize(words, 0);
-            for &u in &ws.frontier {
-                ws.front_bits[u.index() >> 6] |= 1u64 << (u.index() & 63);
+            front_bits.clear();
+            front_bits.resize(words, 0);
+            for &u in frontier.iter() {
+                front_bits[u.index() >> 6] |= 1u64 << (u.index() & 63);
             }
             bottom_up = true;
         } else if bottom_up && frontier_len * BETA < n {
             // Frontier thinned out again: back to top-down.
-            ws.frontier.clear();
-            for (w, &word) in ws.front_bits.iter().enumerate() {
+            frontier.clear();
+            for (w, &word) in front_bits.iter().enumerate() {
                 let mut bits = word;
                 while bits != 0 {
                     let b = bits.trailing_zeros() as usize;
-                    ws.frontier.push(NodeId::new((w << 6) | b));
+                    frontier.push(NodeId::new((w << 6) | b));
                     bits &= bits - 1;
                 }
             }
@@ -165,51 +175,46 @@ pub fn bfs_limited_into(
         frontier_len = 0;
         frontier_edges = 0;
         if bottom_up {
-            ws.next_bits.clear();
-            ws.next_bits.resize(words, 0);
+            next_bits.clear();
+            next_bits.resize(words, 0);
             for (v, d) in dist.iter_mut().enumerate() {
                 if *d != INF {
                     continue;
                 }
                 // Probe this unvisited node's adjacency for a frontier
                 // parent, counting every probe as one examined entry.
-                let mut has_parent = false;
-                for &u in graph.neighbors(NodeId::new(v)) {
+                let has_parent = graph.any_neighbor(NodeId::new(v), |u| {
                     work.relaxed += 1;
-                    if ws.front_bits[u.index() >> 6] & (1u64 << (u.index() & 63)) != 0 {
-                        has_parent = true;
-                        break;
-                    }
-                }
+                    front_bits[u.index() >> 6] & (1u64 << (u.index() & 63)) != 0
+                });
                 if has_parent {
                     *d = level;
                     work.settled += 1;
-                    ws.next_bits[v >> 6] |= 1u64 << (v & 63);
+                    next_bits[v >> 6] |= 1u64 << (v & 63);
                     frontier_len += 1;
                     let deg = graph.degree(NodeId::new(v));
                     frontier_edges += deg;
                     remaining_edges -= deg;
                 }
             }
-            std::mem::swap(&mut ws.front_bits, &mut ws.next_bits);
+            std::mem::swap(front_bits, next_bits);
         } else {
-            ws.next.clear();
-            for i in 0..ws.frontier.len() {
-                let u = ws.frontier[i];
-                for &v in graph.neighbors(u) {
+            next.clear();
+            for &u in frontier.iter() {
+                graph.for_each_neighbor(u, |v| {
                     work.relaxed += 1;
                     if dist[v.index()] == INF {
                         dist[v.index()] = level;
                         work.settled += 1;
-                        ws.next.push(v);
+                        next.push(v);
                         let deg = graph.degree(v);
                         frontier_edges += deg;
                         remaining_edges -= deg;
                     }
-                }
+                });
             }
-            frontier_len = ws.next.len();
-            std::mem::swap(&mut ws.frontier, &mut ws.next);
+            frontier_len = next.len();
+            std::mem::swap(frontier, next);
         }
     }
     false
@@ -219,31 +224,32 @@ pub fn bfs_limited_into(
 /// frontier (shared by the small-graph path and [`bfs_scalar_into`]).
 /// Stops before producing any level `> limit`; returns `true` iff cut
 /// short with the frontier still non-empty.
-fn top_down_limited(
-    graph: &Graph,
+fn top_down_limited<V: GraphView>(
+    graph: &V,
     dist: &mut [u32],
     ws: &mut BfsWorkspace,
     limit: u32,
     work: &mut TraversalWork,
 ) -> bool {
+    let BfsWorkspace { frontier, next, .. } = ws;
     let mut level: u32 = 0;
-    while !ws.frontier.is_empty() {
+    while !frontier.is_empty() {
         if level >= limit {
             return true;
         }
         level += 1;
-        for &u in &ws.frontier {
-            for &v in graph.neighbors(u) {
+        for &u in frontier.iter() {
+            graph.for_each_neighbor(u, |v| {
                 work.relaxed += 1;
                 if dist[v.index()] == INF {
                     dist[v.index()] = level;
                     work.settled += 1;
-                    ws.next.push(v);
+                    next.push(v);
                 }
-            }
+            });
         }
-        std::mem::swap(&mut ws.frontier, &mut ws.next);
-        ws.next.clear();
+        std::mem::swap(frontier, next);
+        next.clear();
     }
     false
 }
@@ -251,14 +257,19 @@ fn top_down_limited(
 /// The scalar (always top-down) reference kernel. Same output as
 /// [`bfs_into`]; exists so A/B runs and equivalence tests can pin the
 /// pre-optimization behaviour (`CP_BFS_KERNEL=scalar`).
-pub fn bfs_scalar_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>, ws: &mut BfsWorkspace) {
+pub fn bfs_scalar_into<V: GraphView>(
+    graph: &V,
+    src: NodeId,
+    dist: &mut Vec<u32>,
+    ws: &mut BfsWorkspace,
+) {
     bfs_scalar_limited_into(graph, src, dist, ws, INF, &mut TraversalWork::new());
 }
 
 /// Depth-limited, work-counted variant of [`bfs_scalar_into`]; same
 /// truncation contract as [`bfs_limited_into`].
-pub fn bfs_scalar_limited_into(
-    graph: &Graph,
+pub fn bfs_scalar_limited_into<V: GraphView>(
+    graph: &V,
     src: NodeId,
     dist: &mut Vec<u32>,
     ws: &mut BfsWorkspace,
@@ -277,7 +288,7 @@ pub fn bfs_scalar_limited_into(
 }
 
 /// Allocating convenience wrapper around [`bfs_into`].
-pub fn bfs(graph: &Graph, src: NodeId) -> Vec<u32> {
+pub fn bfs<V: GraphView>(graph: &V, src: NodeId) -> Vec<u32> {
     let mut dist = Vec::new();
     let mut ws = BfsWorkspace::new();
     bfs_into(graph, src, &mut dist, &mut ws);
@@ -289,8 +300,8 @@ pub fn bfs(graph: &Graph, src: NodeId) -> Vec<u32> {
 ///
 /// Distances beyond `max_depth` are left at [`INF`]. Bounded probes have
 /// small frontiers by construction, so this stays top-down.
-pub fn bfs_bounded_into(
-    graph: &Graph,
+pub fn bfs_bounded_into<V: GraphView>(
+    graph: &V,
     src: NodeId,
     max_depth: u32,
     dist: &mut Vec<u32>,
@@ -299,30 +310,31 @@ pub fn bfs_bounded_into(
     let n = graph.num_nodes();
     dist.clear();
     dist.resize(n, INF);
-    ws.frontier.clear();
-    ws.next.clear();
+    let BfsWorkspace { frontier, next, .. } = ws;
+    frontier.clear();
+    next.clear();
     dist[src.index()] = 0;
-    ws.frontier.push(src);
+    frontier.push(src);
     let mut level = 0;
-    while !ws.frontier.is_empty() && level < max_depth {
+    while !frontier.is_empty() && level < max_depth {
         level += 1;
-        for &u in &ws.frontier {
-            for &v in graph.neighbors(u) {
+        for &u in frontier.iter() {
+            graph.for_each_neighbor(u, |v| {
                 if dist[v.index()] == INF {
                     dist[v.index()] = level;
-                    ws.next.push(v);
+                    next.push(v);
                 }
-            }
+            });
         }
-        std::mem::swap(&mut ws.frontier, &mut ws.next);
-        ws.next.clear();
+        std::mem::swap(frontier, next);
+        next.clear();
     }
 }
 
 /// Allocating convenience wrapper around [`bfs_bounded_into`]. Used by
 /// bounded neighborhood probes (e.g. the Selective Expansion variant of
 /// the Incidence baseline).
-pub fn bfs_bounded(graph: &Graph, src: NodeId, max_depth: u32) -> Vec<u32> {
+pub fn bfs_bounded<V: GraphView>(graph: &V, src: NodeId, max_depth: u32) -> Vec<u32> {
     let mut dist = Vec::new();
     let mut ws = BfsWorkspace::new();
     bfs_bounded_into(graph, src, max_depth, &mut dist, &mut ws);
@@ -333,8 +345,8 @@ pub fn bfs_bounded(graph: &Graph, src: NodeId, max_depth: u32) -> Vec<u32> {
 /// distance, considering only reachable nodes, reusing the caller's row
 /// and workspace. Building block of the double-sweep diameter bound and
 /// the greedy dispersion selectors.
-pub fn farthest_node_into(
-    graph: &Graph,
+pub fn farthest_node_into<V: GraphView>(
+    graph: &V,
     src: NodeId,
     dist: &mut Vec<u32>,
     ws: &mut BfsWorkspace,
@@ -350,7 +362,7 @@ pub fn farthest_node_into(
 }
 
 /// Allocating convenience wrapper around [`farthest_node_into`].
-pub fn farthest_node(graph: &Graph, src: NodeId) -> (NodeId, u32) {
+pub fn farthest_node<V: GraphView>(graph: &V, src: NodeId) -> (NodeId, u32) {
     let mut dist = Vec::new();
     let mut ws = BfsWorkspace::new();
     farthest_node_into(graph, src, &mut dist, &mut ws)
@@ -358,8 +370,8 @@ pub fn farthest_node(graph: &Graph, src: NodeId) -> (NodeId, u32) {
 
 /// Computes the eccentricity of `src` (max finite distance from it),
 /// reusing the caller's row and workspace.
-pub fn eccentricity_into(
-    graph: &Graph,
+pub fn eccentricity_into<V: GraphView>(
+    graph: &V,
     src: NodeId,
     dist: &mut Vec<u32>,
     ws: &mut BfsWorkspace,
@@ -368,7 +380,7 @@ pub fn eccentricity_into(
 }
 
 /// Allocating convenience wrapper around [`eccentricity_into`].
-pub fn eccentricity(graph: &Graph, src: NodeId) -> u32 {
+pub fn eccentricity<V: GraphView>(graph: &V, src: NodeId) -> u32 {
     let mut dist = Vec::new();
     let mut ws = BfsWorkspace::new();
     eccentricity_into(graph, src, &mut dist, &mut ws)
@@ -378,6 +390,7 @@ pub fn eccentricity(graph: &Graph, src: NodeId) -> u32 {
 mod tests {
     use super::*;
     use crate::builder::graph_from_edges;
+    use crate::graph::Graph;
 
     fn path5() -> Graph {
         graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])

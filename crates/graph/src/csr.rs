@@ -1,0 +1,405 @@
+//! Graph storage views: the `GraphView` trait and the compressed CSR store.
+//!
+//! The pipeline always traverses a snapshot *pair*, and the kernels only
+//! ever need forward adjacency iteration — never edge ids or random arc
+//! access. [`GraphView`] captures exactly that surface so the hot kernels
+//! (`bfs_*`, `msbfs`, `dijkstra`, repair seeding, `LandmarkIndex::build`)
+//! can be written once and monomorphized per store:
+//!
+//! - [`crate::Graph`] — the reference full CSR (`full` store),
+//! - [`crate::OverlayGraph`] — borrowed base CSR + O(Δ) insertion overlay
+//!   (`overlay` store),
+//! - [`CompressedCsr`] — delta-gap varint adjacency (`compressed` store).
+//!
+//! [`GraphViewRef`] is a `Copy` enum over the three; callers match it once
+//! at a kernel entry point (enum dispatch) so the per-arc inner loops stay
+//! branch-free and monomorphic.
+
+use crate::graph::{Graph, NodeId};
+use crate::overlay::OverlayGraph;
+use crate::varint;
+
+/// Read-only adjacency surface shared by all snapshot storage layouts.
+///
+/// Implementations must present the *same logical graph* shape: sorted,
+/// deduplicated neighbor lists visited in ascending order. The budget
+/// oracle relies on that ordering to keep traversal work counters (not
+/// just distances) bit-identical across stores.
+pub trait GraphView {
+    /// Number of nodes (including isolated ones).
+    fn num_nodes(&self) -> usize;
+    /// Number of directed arcs (2× the undirected edge count).
+    fn num_arcs(&self) -> usize;
+    /// Degree of `u`.
+    fn degree(&self, u: NodeId) -> usize;
+    /// Whether arcs carry non-unit weights.
+    fn is_weighted(&self) -> bool;
+    /// Calls `f` for every neighbor of `u`, in ascending node order.
+    fn for_each_neighbor(&self, u: NodeId, f: impl FnMut(NodeId));
+    /// Calls `f` for neighbors of `u` in ascending order until `f` returns
+    /// `true`; returns whether any did. Used by the bottom-up BFS sweep to
+    /// stop at the first frontier parent.
+    fn any_neighbor(&self, u: NodeId, f: impl FnMut(NodeId) -> bool) -> bool;
+    /// Calls `f(v, w)` for every neighbor of `u` with the arc weight, in
+    /// ascending node order. Unweighted stores report `w = 1`.
+    fn for_each_neighbor_weighted(&self, u: NodeId, f: impl FnMut(NodeId, u32));
+    /// Heap bytes owned by this store (shared/borrowed structure excluded).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl GraphView for Graph {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        Graph::num_nodes(self)
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        Graph::num_arcs(self)
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        Graph::degree(self, u)
+    }
+
+    #[inline]
+    fn is_weighted(&self) -> bool {
+        Graph::is_weighted(self)
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        for &v in self.neighbors(u) {
+            f(v);
+        }
+    }
+
+    #[inline]
+    fn any_neighbor(&self, u: NodeId, mut f: impl FnMut(NodeId) -> bool) -> bool {
+        for &v in self.neighbors(u) {
+            if f(v) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn for_each_neighbor_weighted(&self, u: NodeId, mut f: impl FnMut(NodeId, u32)) {
+        for (v, e) in self.neighbors_with_edge_ids(u) {
+            f(v, self.edge_weight(e));
+        }
+    }
+
+    #[inline]
+    fn heap_bytes(&self) -> usize {
+        Graph::heap_bytes(self)
+    }
+}
+
+/// A `Copy` reference to any of the three snapshot stores.
+///
+/// The oracle holds one per snapshot and matches it **once** per kernel
+/// invocation (see `with_view!` in cp-core), so the traversal inner loops
+/// are monomorphized per store rather than virtually dispatched per arc.
+#[derive(Clone, Copy)]
+pub enum GraphViewRef<'v> {
+    /// The reference full CSR.
+    Full(&'v Graph),
+    /// Base CSR shared with t1 plus an O(Δ) insertion overlay.
+    Overlay(&'v OverlayGraph<'v>),
+    /// Delta-gap varint compressed adjacency.
+    Compressed(&'v CompressedCsr),
+}
+
+impl GraphViewRef<'_> {
+    /// Short name of the active store, for stats and logs.
+    pub fn store_name(&self) -> &'static str {
+        match self {
+            GraphViewRef::Full(_) => "full",
+            GraphViewRef::Overlay(_) => "overlay",
+            GraphViewRef::Compressed(_) => "compressed",
+        }
+    }
+
+    /// Heap bytes owned by the active store.
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            GraphViewRef::Full(g) => GraphView::heap_bytes(*g),
+            GraphViewRef::Overlay(g) => g.heap_bytes(),
+            GraphViewRef::Compressed(g) => g.heap_bytes(),
+        }
+    }
+}
+
+/// Delta-gap varint compressed CSR.
+///
+/// Each adjacency list is encoded as the first target absolute followed by
+/// strictly positive gaps (`v_k - v_{k-1}`), all as LEB128 varints
+/// ([`crate::varint`]). A decode "block" is one adjacency run: kernels
+/// stream-decode a node's list directly into their per-worker traversal
+/// state, so no decode buffer is materialized. Edge ids are *not* stored —
+/// weighted traversal carries the per-arc weight inline — which is the
+/// other half of the memory win over the full CSR (`targets` + `arc_edge`
+/// cost 8 bytes/arc there).
+pub struct CompressedCsr {
+    /// Byte offset of each node's encoded run in `data` (`n + 1` entries).
+    byte_offsets: Vec<u32>,
+    /// Degree of each node (`n` entries).
+    degrees: Vec<u32>,
+    /// Concatenated varint-encoded adjacency runs.
+    data: Vec<u8>,
+    /// Per-arc weights in decode order, for weighted graphs only.
+    arc_weights: Option<Vec<u32>>,
+    /// Arc offset of each node (`n + 1` entries), only kept when weighted.
+    arc_offsets: Option<Vec<u32>>,
+    num_nodes: usize,
+    num_edges: usize,
+}
+
+impl CompressedCsr {
+    /// Encodes `graph` into the compressed layout.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let n = graph.num_nodes();
+        let weighted = graph.is_weighted();
+        let mut byte_offsets = Vec::with_capacity(n + 1);
+        let mut degrees = Vec::with_capacity(n);
+        let mut data = Vec::new();
+        let mut arc_weights = if weighted {
+            Some(Vec::with_capacity(graph.num_arcs()))
+        } else {
+            None
+        };
+        let mut arc_offsets = if weighted {
+            Some(Vec::with_capacity(n + 1))
+        } else {
+            None
+        };
+        for u in 0..n {
+            let u = NodeId::new(u);
+            byte_offsets.push(u32::try_from(data.len()).expect("adjacency data exceeds 4 GiB"));
+            if let Some(offs) = arc_offsets.as_mut() {
+                offs.push(arc_weights.as_ref().map_or(0, Vec::len) as u32);
+            }
+            degrees.push(graph.degree(u) as u32);
+            let mut prev = 0u32;
+            for (k, (v, e)) in graph.neighbors_with_edge_ids(u).enumerate() {
+                let raw = v.index() as u32;
+                let val = if k == 0 { raw } else { raw - prev };
+                debug_assert!(k == 0 || val >= 1, "adjacency must be strictly sorted");
+                varint::encode_u32(val, &mut data);
+                prev = raw;
+                if let Some(ws) = arc_weights.as_mut() {
+                    ws.push(graph.edge_weight(e));
+                }
+            }
+        }
+        byte_offsets.push(u32::try_from(data.len()).expect("adjacency data exceeds 4 GiB"));
+        if let Some(offs) = arc_offsets.as_mut() {
+            offs.push(arc_weights.as_ref().map_or(0, Vec::len) as u32);
+        }
+        data.shrink_to_fit();
+        CompressedCsr {
+            byte_offsets,
+            degrees,
+            data,
+            arc_weights,
+            arc_offsets,
+            num_nodes: n,
+            num_edges: graph.num_edges(),
+        }
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Average stored bytes per directed arc (structure only for
+    /// unweighted graphs; includes inline weights for weighted ones).
+    pub fn bytes_per_arc(&self) -> f64 {
+        let arcs = GraphView::num_arcs(self);
+        if arcs == 0 {
+            return 0.0;
+        }
+        self.heap_bytes() as f64 / arcs as f64
+    }
+}
+
+impl GraphView for CompressedCsr {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        self.degrees[u.index()] as usize
+    }
+
+    #[inline]
+    fn is_weighted(&self) -> bool {
+        self.arc_weights.is_some()
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        let mut pos = self.byte_offsets[u.index()] as usize;
+        let deg = self.degrees[u.index()];
+        let mut prev = 0u32;
+        for k in 0..deg {
+            let val = varint::decode_u32(&self.data, &mut pos);
+            prev = if k == 0 { val } else { prev + val };
+            f(NodeId::new(prev as usize));
+        }
+    }
+
+    #[inline]
+    fn any_neighbor(&self, u: NodeId, mut f: impl FnMut(NodeId) -> bool) -> bool {
+        let mut pos = self.byte_offsets[u.index()] as usize;
+        let deg = self.degrees[u.index()];
+        let mut prev = 0u32;
+        for k in 0..deg {
+            let val = varint::decode_u32(&self.data, &mut pos);
+            prev = if k == 0 { val } else { prev + val };
+            if f(NodeId::new(prev as usize)) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[inline]
+    fn for_each_neighbor_weighted(&self, u: NodeId, mut f: impl FnMut(NodeId, u32)) {
+        let mut pos = self.byte_offsets[u.index()] as usize;
+        let deg = self.degrees[u.index()];
+        let mut prev = 0u32;
+        match (&self.arc_weights, &self.arc_offsets) {
+            (Some(ws), Some(offs)) => {
+                let base = offs[u.index()] as usize;
+                for k in 0..deg {
+                    let val = varint::decode_u32(&self.data, &mut pos);
+                    prev = if k == 0 { val } else { prev + val };
+                    f(NodeId::new(prev as usize), ws[base + k as usize]);
+                }
+            }
+            _ => {
+                for k in 0..deg {
+                    let val = varint::decode_u32(&self.data, &mut pos);
+                    prev = if k == 0 { val } else { prev + val };
+                    f(NodeId::new(prev as usize), 1);
+                }
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.byte_offsets.len() * std::mem::size_of::<u32>()
+            + self.degrees.len() * std::mem::size_of::<u32>()
+            + self.data.len()
+            + self
+                .arc_weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<u32>())
+            + self
+                .arc_offsets
+                .as_ref()
+                .map_or(0, |o| o.len() * std::mem::size_of::<u32>())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn sample_graph() -> Graph {
+        let mut b = GraphBuilder::new(8);
+        for (u, v) in [(0, 1), (0, 2), (0, 7), (1, 2), (2, 3), (3, 4), (5, 6)] {
+            b.add_edge(NodeId::new(u), NodeId::new(v));
+        }
+        b.build()
+    }
+
+    fn collect<V: GraphView>(g: &V, u: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        g.for_each_neighbor(NodeId::new(u), |v| out.push(v.index()));
+        out
+    }
+
+    #[test]
+    fn compressed_matches_full_adjacency() {
+        let g = sample_graph();
+        let c = CompressedCsr::from_graph(&g);
+        assert_eq!(GraphView::num_nodes(&c), g.num_nodes());
+        assert_eq!(GraphView::num_arcs(&c), g.num_arcs());
+        assert!(!GraphView::is_weighted(&c));
+        for u in 0..g.num_nodes() {
+            assert_eq!(
+                GraphView::degree(&c, NodeId::new(u)),
+                g.degree(NodeId::new(u))
+            );
+            let full: Vec<usize> = g
+                .neighbors(NodeId::new(u))
+                .iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(collect(&c, u), full, "node {u}");
+        }
+    }
+
+    #[test]
+    fn compressed_weighted_iteration_reports_weights() {
+        let mut b = GraphBuilder::new(4);
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(1), 5);
+        b.add_weighted_edge(NodeId::new(1), NodeId::new(2), 3);
+        b.add_weighted_edge(NodeId::new(0), NodeId::new(3), 9);
+        let g = b.build();
+        let c = CompressedCsr::from_graph(&g);
+        assert!(GraphView::is_weighted(&c));
+        for u in 0..g.num_nodes() {
+            let mut full = Vec::new();
+            g.for_each_neighbor_weighted(NodeId::new(u), |v, w| full.push((v.index(), w)));
+            let mut comp = Vec::new();
+            c.for_each_neighbor_weighted(NodeId::new(u), |v, w| comp.push((v.index(), w)));
+            assert_eq!(comp, full, "node {u}");
+        }
+    }
+
+    #[test]
+    fn any_neighbor_stops_early() {
+        let g = sample_graph();
+        let c = CompressedCsr::from_graph(&g);
+        let mut probes = 0;
+        let hit = c.any_neighbor(NodeId::new(0), |v| {
+            probes += 1;
+            v.index() == 2
+        });
+        assert!(hit);
+        assert_eq!(probes, 2, "must stop at the first match");
+        assert!(!c.any_neighbor(NodeId::new(5), |v| v.index() == 0));
+    }
+
+    #[test]
+    fn compressed_is_smaller_than_full() {
+        let mut b = GraphBuilder::new(512);
+        for u in 0..511usize {
+            b.add_edge(NodeId::new(u), NodeId::new(u + 1));
+            b.add_edge(NodeId::new(u), NodeId::new((u * 7 + 13) % 512));
+        }
+        let g = b.build();
+        let c = CompressedCsr::from_graph(&g);
+        let full_bytes = GraphView::heap_bytes(&g) as f64;
+        let comp_bytes = c.heap_bytes() as f64;
+        assert!(
+            comp_bytes <= 0.6 * full_bytes,
+            "compressed {comp_bytes}B vs full {full_bytes}B"
+        );
+    }
+}

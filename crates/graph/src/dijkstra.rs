@@ -6,7 +6,8 @@
 //! the full pipeline works on weighted inputs too.
 
 use crate::bfs::TraversalWork;
-use crate::graph::{Graph, NodeId};
+use crate::csr::GraphView;
+use crate::graph::NodeId;
 use crate::INF;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -17,14 +18,14 @@ use std::collections::BinaryHeap;
 /// keeping total path weights below [`INF`] (the routine saturates instead
 /// of overflowing, so a saturated path is simply treated as unreachable-ish
 /// long but never wraps).
-pub fn dijkstra(graph: &Graph, src: NodeId) -> Vec<u32> {
+pub fn dijkstra<V: GraphView>(graph: &V, src: NodeId) -> Vec<u32> {
     let mut dist = vec![INF; graph.num_nodes()];
     dijkstra_into(graph, src, &mut dist);
     dist
 }
 
 /// In-place variant of [`dijkstra`]; `dist` is resized and overwritten.
-pub fn dijkstra_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>) {
+pub fn dijkstra_into<V: GraphView>(graph: &V, src: NodeId, dist: &mut Vec<u32>) {
     dijkstra_limited_into(graph, src, dist, INF, &mut TraversalWork::new());
 }
 
@@ -36,8 +37,8 @@ pub fn dijkstra_into(graph: &Graph, src: NodeId, dist: &mut Vec<u32>) {
 /// to [`INF`] so a truncated row never exposes a non-final distance. With
 /// `limit == INF` the output is identical to [`dijkstra_into`]. Returns
 /// `true` iff the cutoff actually fired.
-pub fn dijkstra_limited_into(
-    graph: &Graph,
+pub fn dijkstra_limited_into<V: GraphView>(
+    graph: &V,
     src: NodeId,
     dist: &mut Vec<u32>,
     limit: u32,
@@ -58,15 +59,14 @@ pub fn dijkstra_limited_into(
             break;
         }
         work.settled += 1;
-        for (v, e) in graph.neighbors_with_edge_ids(u) {
+        graph.for_each_neighbor_weighted(u, |v, w| {
             work.relaxed += 1;
-            let w = graph.edge_weight(e);
             let nd = d.saturating_add(w).min(INF - 1);
             if nd < dist[v.index()] {
                 dist[v.index()] = nd;
                 heap.push(Reverse((nd, v)));
             }
-        }
+        });
     }
     if truncated {
         // Canonicalize: tentative distances beyond the limit were never

@@ -20,7 +20,8 @@
 //! (one wave still *charges* one SSSP per source; see `cp-core`).
 
 use crate::bfs::TraversalWork;
-use crate::graph::{Graph, NodeId};
+use crate::csr::GraphView;
+use crate::graph::NodeId;
 use crate::INF;
 
 /// Maximum sources per wave: one bit per source in a `u64` word.
@@ -58,8 +59,8 @@ impl MsBfsWorkspace {
 ///
 /// # Panics
 /// Panics if `sources.len() > WAVE_WIDTH` or `rows.len() != sources.len()`.
-pub fn msbfs_into(
-    graph: &Graph,
+pub fn msbfs_into<V: GraphView>(
+    graph: &V,
     sources: &[NodeId],
     rows: &mut [Vec<u32>],
     ws: &mut MsBfsWorkspace,
@@ -77,8 +78,8 @@ pub fn msbfs_into(
 /// was actually truncated. `work` counts settled `(source, node)` pairs
 /// and adjacency entries scanned (one per edge per sweep — the shared
 /// sweep is exactly what makes a wave cheaper than per-source BFS).
-pub fn msbfs_limited_into(
-    graph: &Graph,
+pub fn msbfs_limited_into<V: GraphView>(
+    graph: &V,
     sources: &[NodeId],
     rows: &mut [Vec<u32>],
     ws: &mut MsBfsWorkspace,
@@ -96,50 +97,59 @@ pub fn msbfs_limited_into(
         row.clear();
         row.resize(n, INF);
     }
-    ws.seen.clear();
-    ws.seen.resize(n, 0);
-    ws.visit.clear();
-    ws.visit.resize(n, 0);
-    ws.next.clear();
-    ws.next.resize(n, 0);
-    ws.frontier.clear();
-    ws.next_frontier.clear();
+    // Split the workspace into disjoint field borrows so the adjacency
+    // closure can mutate the wave state while the frontier is iterated.
+    let MsBfsWorkspace {
+        seen,
+        visit,
+        next,
+        frontier,
+        next_frontier,
+    } = ws;
+    seen.clear();
+    seen.resize(n, 0);
+    visit.clear();
+    visit.resize(n, 0);
+    next.clear();
+    next.resize(n, 0);
+    frontier.clear();
+    next_frontier.clear();
 
     for (b, &s) in sources.iter().enumerate() {
         rows[b][s.index()] = 0;
-        if ws.visit[s.index()] == 0 {
-            ws.frontier.push(s.0);
+        if visit[s.index()] == 0 {
+            frontier.push(s.0);
         }
-        ws.seen[s.index()] |= 1u64 << b;
-        ws.visit[s.index()] |= 1u64 << b;
+        seen[s.index()] |= 1u64 << b;
+        visit[s.index()] |= 1u64 << b;
     }
     work.settled += sources.len() as u64;
 
     let mut level: u32 = 0;
-    while !ws.frontier.is_empty() {
+    while !frontier.is_empty() {
         if level >= limit {
             // Sources with a bit still live in the frontier's visit words
             // were cut short; the rest had already drained.
             let mut truncated = 0u64;
-            for fi in 0..ws.frontier.len() {
-                truncated |= ws.visit[ws.frontier[fi] as usize];
+            for &uf in frontier.iter() {
+                truncated |= visit[uf as usize];
             }
             return truncated;
         }
         level += 1;
-        for fi in 0..ws.frontier.len() {
-            let u = ws.frontier[fi] as usize;
-            let vis = ws.visit[u];
-            for &v in graph.neighbors(NodeId::new(u)) {
+        for &uf in frontier.iter() {
+            let u = uf as usize;
+            let vis = visit[u];
+            graph.for_each_neighbor(NodeId::new(u), |v| {
                 let v = v.index();
                 work.relaxed += 1;
-                let new = vis & !ws.seen[v];
+                let new = vis & !seen[v];
                 if new != 0 {
-                    if ws.next[v] == 0 {
-                        ws.next_frontier.push(v as u32);
+                    if next[v] == 0 {
+                        next_frontier.push(v as u32);
                     }
-                    ws.next[v] |= new;
-                    ws.seen[v] |= new;
+                    next[v] |= new;
+                    seen[v] |= new;
                     work.settled += u64::from(new.count_ones());
                     let mut bits = new;
                     while bits != 0 {
@@ -147,22 +157,21 @@ pub fn msbfs_limited_into(
                         bits &= bits - 1;
                     }
                 }
-            }
+            });
         }
         // Roll the wave forward: retire this level's visit words, promote
         // the accumulated next words. A node can sit in both frontiers
         // (different sources reach it at different levels), so clear first.
-        for fi in 0..ws.frontier.len() {
-            let u = ws.frontier[fi] as usize;
-            ws.visit[u] = 0;
+        for &uf in frontier.iter() {
+            visit[uf as usize] = 0;
         }
-        for fi in 0..ws.next_frontier.len() {
-            let v = ws.next_frontier[fi] as usize;
-            ws.visit[v] = ws.next[v];
-            ws.next[v] = 0;
+        for &vf in next_frontier.iter() {
+            let v = vf as usize;
+            visit[v] = next[v];
+            next[v] = 0;
         }
-        std::mem::swap(&mut ws.frontier, &mut ws.next_frontier);
-        ws.next_frontier.clear();
+        std::mem::swap(frontier, next_frontier);
+        next_frontier.clear();
     }
     0
 }
@@ -170,7 +179,7 @@ pub fn msbfs_limited_into(
 /// Allocating convenience wrapper: runs [`msbfs_into`] over `sources` in
 /// chunks of [`WAVE_WIDTH`], returning one distance row per source (any
 /// number of sources).
-pub fn msbfs(graph: &Graph, sources: &[NodeId]) -> Vec<Vec<u32>> {
+pub fn msbfs<V: GraphView>(graph: &V, sources: &[NodeId]) -> Vec<Vec<u32>> {
     let mut ws = MsBfsWorkspace::new();
     let mut rows: Vec<Vec<u32>> = (0..sources.len()).map(|_| Vec::new()).collect();
     for (chunk, out) in sources.chunks(WAVE_WIDTH).zip(rows.chunks_mut(WAVE_WIDTH)) {
@@ -184,6 +193,7 @@ mod tests {
     use super::*;
     use crate::bfs::bfs;
     use crate::builder::graph_from_edges;
+    use crate::graph::Graph;
 
     fn sample() -> Graph {
         graph_from_edges(8, &[(0, 1), (1, 2), (2, 3), (3, 0), (3, 4), (4, 5), (6, 7)])

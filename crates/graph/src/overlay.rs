@@ -1,0 +1,385 @@
+//! Shared-structure snapshots: base CSR + O(Δ) insertion overlay.
+//!
+//! The paper's evolution model only ever inserts edges, so a snapshot pair
+//! `(G_t1, G_t2)` satisfies `E_t1 ⊆ E_t2`. [`OverlayGraph`] exploits that:
+//! it *borrows* the t1 CSR as its base and stores only the inserted arcs in
+//! a small per-node side table, presenting the full t2 adjacency through a
+//! sorted two-pointer merge. t2 therefore costs O(Δ) memory and zero
+//! rebuild instead of a second full CSR, and the merge visits neighbors in
+//! exactly the same ascending order as the materialized t2 `Graph` — so
+//! traversal kernels produce bit-identical rows *and* bit-identical work
+//! counters over either representation.
+//!
+//! The overlay also carries the normalized inserted-edge list it was built
+//! from, which is precisely the [`SnapshotDelta`] the repair kernels need:
+//! an overlay-backed pair gets its delta in O(Δ) via [`OverlayGraph::
+//! to_delta`] instead of the O(E) containment scan of [`snapshot_delta`].
+//!
+//! [`snapshot_delta`]: crate::repair::snapshot_delta
+
+use crate::csr::GraphView;
+use crate::graph::{Graph, NodeId};
+use crate::repair::{InsertedEdge, SnapshotDelta};
+
+/// A grown snapshot sharing its base CSR with the previous snapshot.
+///
+/// Invariants (checked in debug builds at construction):
+/// * every inserted edge is absent from the base,
+/// * the inserted list is normalized (`u < v`) and strictly ascending,
+/// * unweighted overlays only carry unit-weight insertions.
+pub struct OverlayGraph<'g> {
+    base: &'g Graph,
+    /// Arc offsets into `extra_targets` (`n + 1` entries).
+    extra_offsets: Vec<u32>,
+    /// Inserted arcs per node, sorted ascending within each node.
+    extra_targets: Vec<NodeId>,
+    /// Weights parallel to `extra_targets`; `None` for unit weights.
+    extra_weights: Option<Vec<u32>>,
+    /// Whether the *logical* snapshot is weighted. May be `true` with an
+    /// unweighted base (base arcs then count as weight 1).
+    weighted: bool,
+    /// The normalized `E_t2 \ E_t1` this overlay was built from.
+    inserted: Vec<InsertedEdge>,
+    num_edges: usize,
+}
+
+impl<'g> OverlayGraph<'g> {
+    /// Builds the overlay for `base + inserted`. `inserted` must be
+    /// normalized (`u < v`, strictly ascending) and disjoint from the base
+    /// edge set — exactly the shape [`snapshot_delta`] and the streaming
+    /// accumulator produce. `weighted` sets the logical snapshot's
+    /// weightedness so kernel dispatch matches the materialized t2 graph.
+    ///
+    /// [`snapshot_delta`]: crate::repair::snapshot_delta
+    pub fn from_delta(base: &'g Graph, inserted: Vec<InsertedEdge>, weighted: bool) -> Self {
+        let n = base.num_nodes();
+        debug_assert!(
+            inserted
+                .windows(2)
+                .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+            "inserted edges must be normalized and strictly ascending"
+        );
+        let mut counts = vec![0u32; n];
+        for &(u, v, w) in &inserted {
+            debug_assert!(u < v, "inserted edges must be normalized u < v");
+            debug_assert!(u.index() < n && v.index() < n, "insertion outside universe");
+            debug_assert!(!base.has_edge(u, v), "inserted edge already in base");
+            debug_assert!(weighted || w == 1, "unweighted overlay fed weight {w}");
+            counts[u.index()] += 1;
+            counts[v.index()] += 1;
+        }
+        let mut extra_offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        extra_offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            extra_offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = extra_offsets[..n].to_vec();
+        let mut extra_targets = vec![NodeId(0); acc as usize];
+        let mut extra_weights = weighted.then(|| vec![0u32; acc as usize]);
+        for &(u, v, w) in &inserted {
+            for (x, y) in [(u, v), (v, u)] {
+                let slot = cursor[x.index()] as usize;
+                extra_targets[slot] = y;
+                if let Some(ws) = extra_weights.as_mut() {
+                    ws[slot] = w;
+                }
+                cursor[x.index()] += 1;
+            }
+        }
+        // Arcs arrive grouped by insertion order, not target order; each
+        // node's side list must be ascending for the merge to work.
+        for u in 0..n {
+            let range = extra_offsets[u] as usize..extra_offsets[u + 1] as usize;
+            match extra_weights.as_mut() {
+                Some(ws) => {
+                    let mut pairs: Vec<(NodeId, u32)> = extra_targets[range.clone()]
+                        .iter()
+                        .copied()
+                        .zip(ws[range.clone()].iter().copied())
+                        .collect();
+                    pairs.sort_unstable_by_key(|&(t, _)| t);
+                    for (i, &(t, w)) in pairs.iter().enumerate() {
+                        extra_targets[range.start + i] = t;
+                        ws[range.start + i] = w;
+                    }
+                }
+                None => extra_targets[range].sort_unstable(),
+            }
+        }
+        let num_edges = base.num_edges() + inserted.len();
+        OverlayGraph {
+            base,
+            extra_offsets,
+            extra_targets,
+            extra_weights,
+            weighted,
+            inserted,
+            num_edges,
+        }
+    }
+
+    /// The borrowed base (t1) snapshot.
+    pub fn base(&self) -> &'g Graph {
+        self.base
+    }
+
+    /// Number of undirected edges in the logical (t2) snapshot.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The inserted edges this overlay adds to its base, normalized.
+    pub fn inserted(&self) -> &[InsertedEdge] {
+        &self.inserted
+    }
+
+    /// Arcs shared with (borrowed from) the base CSR.
+    pub fn shared_arcs(&self) -> usize {
+        self.base.num_arcs()
+    }
+
+    /// Arcs owned by the overlay side table (`2 · |Δ|`).
+    pub fn extra_arcs(&self) -> usize {
+        self.extra_targets.len()
+    }
+
+    /// The snapshot delta this overlay encodes, in O(Δ) — the fast path
+    /// replacing the O(E) containment scan for overlay-backed pairs.
+    pub fn to_delta(&self) -> SnapshotDelta {
+        SnapshotDelta {
+            growth_only: true,
+            inserted: self.inserted.clone(),
+        }
+    }
+
+    #[inline]
+    fn extra_range(&self, u: NodeId) -> std::ops::Range<usize> {
+        self.extra_offsets[u.index()] as usize..self.extra_offsets[u.index() + 1] as usize
+    }
+}
+
+impl GraphView for OverlayGraph<'_> {
+    #[inline]
+    fn num_nodes(&self) -> usize {
+        self.base.num_nodes()
+    }
+
+    #[inline]
+    fn num_arcs(&self) -> usize {
+        2 * self.num_edges
+    }
+
+    #[inline]
+    fn degree(&self, u: NodeId) -> usize {
+        self.base.degree(u) + self.extra_range(u).len()
+    }
+
+    #[inline]
+    fn is_weighted(&self) -> bool {
+        self.weighted
+    }
+
+    #[inline]
+    fn for_each_neighbor(&self, u: NodeId, mut f: impl FnMut(NodeId)) {
+        let base = self.base.neighbors(u);
+        let extra = &self.extra_targets[self.extra_range(u)];
+        let (mut i, mut j) = (0, 0);
+        // Base and extra lists are each sorted and mutually disjoint, so a
+        // two-pointer merge yields the exact ascending order a materialized
+        // t2 CSR would store.
+        while i < base.len() && j < extra.len() {
+            if base[i] < extra[j] {
+                f(base[i]);
+                i += 1;
+            } else {
+                f(extra[j]);
+                j += 1;
+            }
+        }
+        for &v in &base[i..] {
+            f(v);
+        }
+        for &v in &extra[j..] {
+            f(v);
+        }
+    }
+
+    #[inline]
+    fn any_neighbor(&self, u: NodeId, mut f: impl FnMut(NodeId) -> bool) -> bool {
+        let base = self.base.neighbors(u);
+        let extra = &self.extra_targets[self.extra_range(u)];
+        let (mut i, mut j) = (0, 0);
+        while i < base.len() && j < extra.len() {
+            let v = if base[i] < extra[j] {
+                i += 1;
+                base[i - 1]
+            } else {
+                j += 1;
+                extra[j - 1]
+            };
+            if f(v) {
+                return true;
+            }
+        }
+        while i < base.len() {
+            if f(base[i]) {
+                return true;
+            }
+            i += 1;
+        }
+        while j < extra.len() {
+            if f(extra[j]) {
+                return true;
+            }
+            j += 1;
+        }
+        false
+    }
+
+    #[inline]
+    fn for_each_neighbor_weighted(&self, u: NodeId, mut f: impl FnMut(NodeId, u32)) {
+        let range = self.extra_range(u);
+        let extra = &self.extra_targets[range.clone()];
+        let extra_w = self.extra_weights.as_deref();
+        let extra_weight = |j: usize| extra_w.map_or(1, |ws| ws[range.start + j]);
+        let mut base = self.base.neighbors_with_edge_ids(u).peekable();
+        let mut j = 0;
+        loop {
+            match (base.peek().copied(), extra.get(j).copied()) {
+                (Some((bv, e)), Some(ev)) => {
+                    if bv < ev {
+                        f(bv, self.base.edge_weight(e));
+                        base.next();
+                    } else {
+                        f(ev, extra_weight(j));
+                        j += 1;
+                    }
+                }
+                (Some((bv, e)), None) => {
+                    f(bv, self.base.edge_weight(e));
+                    base.next();
+                }
+                (None, Some(ev)) => {
+                    f(ev, extra_weight(j));
+                    j += 1;
+                }
+                (None, None) => break,
+            }
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.extra_offsets.len() * std::mem::size_of::<u32>()
+            + self.extra_targets.len() * std::mem::size_of::<NodeId>()
+            + self
+                .extra_weights
+                .as_ref()
+                .map_or(0, |w| w.len() * std::mem::size_of::<u32>())
+            + self.inserted.len() * std::mem::size_of::<InsertedEdge>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{graph_from_edges, GraphBuilder};
+    use crate::repair::snapshot_delta;
+
+    fn grown_pair() -> (Graph, Graph) {
+        let base: Vec<(u32, u32)> = vec![(0, 1), (1, 2), (2, 3), (4, 5), (0, 6)];
+        let mut grown = base.clone();
+        grown.extend([(3, 4), (0, 7), (2, 6)]);
+        (graph_from_edges(8, &base), graph_from_edges(8, &grown))
+    }
+
+    fn adjacency<V: GraphView>(g: &V, u: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        g.for_each_neighbor(NodeId::new(u), |v| out.push(v.index()));
+        out
+    }
+
+    #[test]
+    fn overlay_matches_materialized_snapshot() {
+        let (g1, g2) = grown_pair();
+        let delta = snapshot_delta(&g1, &g2);
+        assert!(delta.growth_only);
+        let ov = OverlayGraph::from_delta(&g1, delta.inserted, g2.is_weighted());
+        assert_eq!(GraphView::num_nodes(&ov), g2.num_nodes());
+        assert_eq!(GraphView::num_arcs(&ov), g2.num_arcs());
+        assert_eq!(ov.num_edges(), g2.num_edges());
+        for u in 0..g2.num_nodes() {
+            assert_eq!(
+                GraphView::degree(&ov, NodeId::new(u)),
+                g2.degree(NodeId::new(u))
+            );
+            let full: Vec<usize> = g2
+                .neighbors(NodeId::new(u))
+                .iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(adjacency(&ov, u), full, "node {u}");
+        }
+    }
+
+    #[test]
+    fn overlay_weighted_merge_reports_weights() {
+        let mut b1 = GraphBuilder::new(5);
+        b1.add_weighted_edge(NodeId(0), NodeId(1), 4);
+        b1.add_weighted_edge(NodeId(1), NodeId(2), 3);
+        let g1 = b1.build();
+        let mut b2 = GraphBuilder::new(5);
+        b2.add_weighted_edge(NodeId(0), NodeId(1), 4);
+        b2.add_weighted_edge(NodeId(1), NodeId(2), 3);
+        b2.add_weighted_edge(NodeId(0), NodeId(3), 2);
+        b2.add_weighted_edge(NodeId(1), NodeId(4), 9);
+        let g2 = b2.build();
+        let delta = snapshot_delta(&g1, &g2);
+        let ov = OverlayGraph::from_delta(&g1, delta.inserted, true);
+        assert!(GraphView::is_weighted(&ov));
+        for u in 0..g2.num_nodes() {
+            let mut full = Vec::new();
+            g2.for_each_neighbor_weighted(NodeId::new(u), |v, w| full.push((v.index(), w)));
+            let mut over = Vec::new();
+            ov.for_each_neighbor_weighted(NodeId::new(u), |v, w| over.push((v.index(), w)));
+            assert_eq!(over, full, "node {u}");
+        }
+    }
+
+    #[test]
+    fn to_delta_round_trips() {
+        let (g1, g2) = grown_pair();
+        let slow = snapshot_delta(&g1, &g2);
+        let ov = OverlayGraph::from_delta(&g1, slow.inserted.clone(), false);
+        let fast = ov.to_delta();
+        assert!(fast.growth_only);
+        assert_eq!(fast.inserted, slow.inserted);
+    }
+
+    #[test]
+    fn memory_is_delta_sized() {
+        let (g1, g2) = grown_pair();
+        let delta = snapshot_delta(&g1, &g2);
+        let n_inserted = delta.inserted.len();
+        let ov = OverlayGraph::from_delta(&g1, delta.inserted, false);
+        assert_eq!(ov.extra_arcs(), 2 * n_inserted);
+        assert_eq!(ov.shared_arcs(), g1.num_arcs());
+        assert!(GraphView::heap_bytes(&ov) < g2.heap_bytes());
+    }
+
+    #[test]
+    fn empty_delta_overlay_is_the_base() {
+        let (g1, _) = grown_pair();
+        let ov = OverlayGraph::from_delta(&g1, Vec::new(), false);
+        assert_eq!(ov.num_edges(), g1.num_edges());
+        for u in 0..g1.num_nodes() {
+            let full: Vec<usize> = g1
+                .neighbors(NodeId::new(u))
+                .iter()
+                .map(|v| v.index())
+                .collect();
+            assert_eq!(adjacency(&ov, u), full);
+        }
+    }
+}

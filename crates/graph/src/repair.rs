@@ -26,6 +26,7 @@
 //! weights on shared edges — is checked once per snapshot pair by
 //! [`snapshot_delta`].
 
+use crate::csr::GraphView;
 use crate::graph::{Graph, NodeId};
 use crate::INF;
 use std::cmp::Reverse;
@@ -36,7 +37,7 @@ pub type InsertedEdge = (NodeId, NodeId, u32);
 
 /// The edge delta between two snapshots, plus whether the pair satisfies
 /// the growth-only precondition that makes row repair exact.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SnapshotDelta {
     /// `true` iff every edge of `G_t1` exists in `G_t2` with the same
     /// weight (and the node universes match). Repair is only valid — and
@@ -116,8 +117,8 @@ impl RepairWorkspace {
 /// `t1_row.len() == g2.num_nodes()`, `g2` unweighted, every inserted edge
 /// present in `g2`, and `t1_row` an upper bound on `t2` distances (true
 /// whenever `G_t1 ⊆ G_t2`). An empty delta returns a plain copy.
-pub fn bfs_repair_into(
-    g2: &Graph,
+pub fn bfs_repair_into<V: GraphView>(
+    g2: &V,
     t1_row: &[u32],
     inserted: &[InsertedEdge],
     dist: &mut Vec<u32>,
@@ -127,12 +128,13 @@ pub fn bfs_repair_into(
     debug_assert!(!g2.is_weighted());
     dist.clear();
     dist.extend_from_slice(t1_row);
+    let RepairWorkspace { buckets, .. } = ws;
 
     let mut hi = 0usize;
     let mut lo = usize::MAX;
     for &(a, b, w) in inserted {
         debug_assert_eq!(w, 1, "unit-weight repair fed a weighted edge");
-        debug_assert!(g2.has_edge(a, b));
+        debug_assert!(g2.any_neighbor(a, |v| v == b));
         for (x, y) in [(a, b), (b, a)] {
             let dx = dist[x.index()];
             if dx == INF {
@@ -142,10 +144,10 @@ pub fn bfs_repair_into(
             if nd < dist[y.index()] {
                 dist[y.index()] = nd;
                 let d = nd as usize;
-                if ws.buckets.len() <= d {
-                    ws.buckets.resize_with(d + 1, Vec::new);
+                if buckets.len() <= d {
+                    buckets.resize_with(d + 1, Vec::new);
                 }
-                ws.buckets[d].push(y.0);
+                buckets[d].push(y.0);
                 lo = lo.min(d);
                 hi = hi.max(d);
             }
@@ -160,7 +162,7 @@ pub fn bfs_repair_into(
     // Unit weights: settling bucket `d` only ever pushes into `d + 1`, so a
     // single ascending pass is a Dijkstra-correct processing order.
     while d <= hi {
-        let mut bucket = std::mem::take(&mut ws.buckets[d]);
+        let mut bucket = std::mem::take(&mut buckets[d]);
         for &v in &bucket {
             let v = NodeId(v);
             if dist[v.index()] != d as u32 {
@@ -168,27 +170,27 @@ pub fn bfs_repair_into(
             }
             settled += 1;
             let nd = d as u32 + 1;
-            for &u in g2.neighbors(v) {
+            g2.for_each_neighbor(v, |u| {
                 if nd < dist[u.index()] {
                     dist[u.index()] = nd;
                     let nd = nd as usize;
-                    if ws.buckets.len() <= nd {
-                        ws.buckets.resize_with(nd + 1, Vec::new);
+                    if buckets.len() <= nd {
+                        buckets.resize_with(nd + 1, Vec::new);
                     }
-                    ws.buckets[nd].push(u.0);
+                    buckets[nd].push(u.0);
                     hi = hi.max(nd);
                 }
-            }
+            });
         }
         bucket.clear();
-        ws.buckets[d] = bucket; // keep the allocation for the next row
+        buckets[d] = bucket; // keep the allocation for the next row
         d += 1;
     }
     settled
 }
 
 /// Allocating convenience wrapper around [`bfs_repair_into`].
-pub fn bfs_repair(g2: &Graph, t1_row: &[u32], inserted: &[InsertedEdge]) -> Vec<u32> {
+pub fn bfs_repair<V: GraphView>(g2: &V, t1_row: &[u32], inserted: &[InsertedEdge]) -> Vec<u32> {
     let mut dist = Vec::new();
     bfs_repair_into(g2, t1_row, inserted, &mut dist, &mut RepairWorkspace::new());
     dist
@@ -198,8 +200,8 @@ pub fn bfs_repair(g2: &Graph, t1_row: &[u32], inserted: &[InsertedEdge]) -> Vec<
 /// row into the exact `t2` row, seeding a heap with the improving endpoints
 /// of the inserted edges and relaxing only the shrinking region. Returns
 /// the number of nodes settled.
-pub fn dijkstra_repair_into(
-    g2: &Graph,
+pub fn dijkstra_repair_into<V: GraphView>(
+    g2: &V,
     t1_row: &[u32],
     inserted: &[InsertedEdge],
     dist: &mut Vec<u32>,
@@ -208,10 +210,11 @@ pub fn dijkstra_repair_into(
     debug_assert_eq!(t1_row.len(), g2.num_nodes());
     dist.clear();
     dist.extend_from_slice(t1_row);
-    ws.heap.clear();
+    let RepairWorkspace { heap, .. } = ws;
+    heap.clear();
 
     for &(a, b, w) in inserted {
-        debug_assert!(g2.has_edge(a, b));
+        debug_assert!(g2.any_neighbor(a, |v| v == b));
         for (x, y) in [(a, b), (b, a)] {
             let dx = dist[x.index()];
             if dx == INF {
@@ -220,31 +223,34 @@ pub fn dijkstra_repair_into(
             let nd = dx.saturating_add(w).min(INF - 1);
             if nd < dist[y.index()] {
                 dist[y.index()] = nd;
-                ws.heap.push(Reverse((nd, y)));
+                heap.push(Reverse((nd, y)));
             }
         }
     }
 
     let mut settled = 0usize;
-    while let Some(Reverse((dv, v))) = ws.heap.pop() {
+    while let Some(Reverse((dv, v))) = heap.pop() {
         if dv > dist[v.index()] {
             continue; // stale entry
         }
         settled += 1;
-        for (u, e) in g2.neighbors_with_edge_ids(v) {
-            let w = g2.edge_weight(e);
+        g2.for_each_neighbor_weighted(v, |u, w| {
             let nd = dv.saturating_add(w).min(INF - 1);
             if nd < dist[u.index()] {
                 dist[u.index()] = nd;
-                ws.heap.push(Reverse((nd, u)));
+                heap.push(Reverse((nd, u)));
             }
-        }
+        });
     }
     settled
 }
 
 /// Allocating convenience wrapper around [`dijkstra_repair_into`].
-pub fn dijkstra_repair(g2: &Graph, t1_row: &[u32], inserted: &[InsertedEdge]) -> Vec<u32> {
+pub fn dijkstra_repair<V: GraphView>(
+    g2: &V,
+    t1_row: &[u32],
+    inserted: &[InsertedEdge],
+) -> Vec<u32> {
     let mut dist = Vec::new();
     dijkstra_repair_into(g2, t1_row, inserted, &mut dist, &mut RepairWorkspace::new());
     dist
@@ -253,8 +259,8 @@ pub fn dijkstra_repair(g2: &Graph, t1_row: &[u32], inserted: &[InsertedEdge]) ->
 /// Dispatching repair: unit-weight bucket repair when `g2` is unweighted,
 /// heap repair otherwise. `delta` must be [`SnapshotDelta::repairable`].
 /// Returns the settled-node count.
-pub fn delta_repair_into(
-    g2: &Graph,
+pub fn delta_repair_into<V: GraphView>(
+    g2: &V,
     t1_row: &[u32],
     delta: &SnapshotDelta,
     dist: &mut Vec<u32>,
@@ -269,7 +275,7 @@ pub fn delta_repair_into(
 }
 
 /// Allocating convenience wrapper around [`delta_repair_into`].
-pub fn delta_repair(g2: &Graph, t1_row: &[u32], delta: &SnapshotDelta) -> Vec<u32> {
+pub fn delta_repair<V: GraphView>(g2: &V, t1_row: &[u32], delta: &SnapshotDelta) -> Vec<u32> {
     let mut dist = Vec::new();
     delta_repair_into(g2, t1_row, delta, &mut dist, &mut RepairWorkspace::new());
     dist

@@ -1,0 +1,104 @@
+//! LEB128-style variable-length integers for compressed adjacency.
+//!
+//! The compressed CSR store ([`crate::csr::CompressedCsr`]) encodes each
+//! adjacency list as a first absolute target followed by strictly positive
+//! gaps; both are written with this varint. Seven payload bits per byte,
+//! little-endian groups, high bit set on every byte except the last:
+//! values below 128 — the overwhelming majority of gaps in a sorted
+//! adjacency list of a social-like graph — cost a single byte, which is
+//! where the ≥ 4× shrink over the 4-byte `u32` target array comes from.
+
+/// Maximum encoded length of a `u32` (⌈32 / 7⌉ bytes).
+pub const MAX_VARINT_BYTES: usize = 5;
+
+/// Appends the varint encoding of `x` to `out`.
+#[inline]
+pub fn encode_u32(mut x: u32, out: &mut Vec<u8>) {
+    while x >= 0x80 {
+        out.push((x as u8 & 0x7f) | 0x80);
+        x >>= 7;
+    }
+    out.push(x as u8);
+}
+
+/// Decodes one varint at `*pos`, advancing `*pos` past it.
+///
+/// The encoder only ever produces canonical (minimal-length) encodings, so
+/// a well-formed buffer never needs more than [`MAX_VARINT_BYTES`] bytes.
+///
+/// # Panics
+/// Panics (via slice indexing) if the buffer ends mid-value — encoded
+/// adjacency data is produced and consumed inside this crate, so a
+/// truncated buffer is a logic error, not an input error.
+#[inline]
+pub fn decode_u32(data: &[u8], pos: &mut usize) -> u32 {
+    let mut x = 0u32;
+    let mut shift = 0u32;
+    loop {
+        let byte = data[*pos];
+        *pos += 1;
+        x |= u32::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return x;
+        }
+        shift += 7;
+    }
+}
+
+/// The encoded length of `x` in bytes, without encoding it.
+#[inline]
+pub fn encoded_len(x: u32) -> usize {
+    match x {
+        0..=0x7f => 1,
+        0x80..=0x3fff => 2,
+        0x4000..=0x1f_ffff => 3,
+        0x20_0000..=0xfff_ffff => 4,
+        _ => 5,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_boundary_values() {
+        let values = [
+            0u32,
+            1,
+            0x7f,
+            0x80,
+            0x3fff,
+            0x4000,
+            0x1f_ffff,
+            0x20_0000,
+            0xfff_ffff,
+            0x1000_0000,
+            u32::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &values {
+            buf.clear();
+            encode_u32(v, &mut buf);
+            assert_eq!(buf.len(), encoded_len(v), "len of {v:#x}");
+            assert!(buf.len() <= MAX_VARINT_BYTES);
+            let mut pos = 0;
+            assert_eq!(decode_u32(&buf, &mut pos), v, "value {v:#x}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn decodes_a_packed_sequence() {
+        let values: Vec<u32> = (0..1000).map(|i| i * 31 + (i % 7) * 1_000_000).collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            encode_u32(v, &mut buf);
+        }
+        let mut pos = 0;
+        for &v in &values {
+            assert_eq!(decode_u32(&buf, &mut pos), v);
+        }
+        assert_eq!(pos, buf.len());
+    }
+}

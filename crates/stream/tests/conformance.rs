@@ -7,7 +7,7 @@
 //! it extends, is a pure wall-clock optimization.
 
 use cp_core::exact::TopKSpec;
-use cp_core::oracle::{BfsKernel, RowCacheBudget, SnapshotOracle, SsspPrune};
+use cp_core::oracle::{BfsKernel, GraphStore, RowCacheBudget, SnapshotOracle, SsspPrune};
 use cp_core::scan::ScanKernel;
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, BudgetedResult};
@@ -182,6 +182,57 @@ fn chaining_never_changes_visible_output_and_actually_fires() {
     assert!(
         chain_fired,
         "no review ever used a chained donor — the A/B comparison is vacuous"
+    );
+}
+
+/// Overlay-backed reviews: an engine pinned to the overlay store builds
+/// each review's `G_t2` as base CSR + the insertion-log suffix since the
+/// last cut — an O(Δ) path with no containment rescan — and every epoch
+/// is bit-identical to the full-store engine's, with the overlay actually
+/// sharing the base's arcs.
+#[test]
+fn overlay_backed_reviews_match_full_store_reviews() {
+    let mut shared_somewhere = false;
+    for (name, t) in generator_cases() {
+        let prefix = |f: f64| ((f * t.num_events() as f64).ceil() as usize).min(t.num_events());
+        let cuts = [0.6, 0.7, 0.8, 0.9, 1.0];
+        let base = StreamConfig::new(
+            10,
+            SelectorKind::Mmsd { landmarks: 3 },
+            TopKSpec::ThresholdFromMax { slack: 1 },
+            7,
+        );
+        let mut full_cfg = base.clone();
+        full_cfg.graph_store = Some(GraphStore::Full);
+        let mut overlay_cfg = base;
+        overlay_cfg.graph_store = Some(GraphStore::Overlay);
+        let start = t.snapshot_of_prefix(prefix(cuts[0]));
+        let mut full = StreamEngine::from_snapshot(&start, full_cfg);
+        let mut overlay = StreamEngine::from_snapshot(&start, overlay_cfg);
+        for w in cuts.windows(2) {
+            let (f1, f2) = (prefix(w[0]), prefix(w[1]));
+            feed(&mut full, &t, f1, f2);
+            feed(&mut overlay, &t, f1, f2);
+            let a = full.review();
+            let b = overlay.review();
+            let ctx = format!("{name}/review={}", a.review);
+            assert_eq!(a.result.pairs, b.result.pairs, "pairs diverge: {ctx}");
+            assert_eq!(
+                a.result.candidates, b.result.candidates,
+                "candidates diverge: {ctx}"
+            );
+            assert_eq!(a.result.budget, b.result.budget, "ledger diverges: {ctx}");
+            assert_eq!(
+                b.result.stats.graph_store,
+                GraphStore::Overlay,
+                "store not recorded: {ctx}"
+            );
+            shared_somewhere |= b.result.stats.graph_mem.overlay_shared_arcs > 0;
+        }
+    }
+    assert!(
+        shared_somewhere,
+        "no overlay-backed review ever shared a base arc — the overlay never built"
     );
 }
 

@@ -24,6 +24,11 @@ echo "==> cargo test -q [CP_SSSP_PRUNE=off]"
 # landmark pre-filter must be invisible in every result.
 CP_SSSP_PRUNE=off cargo test -q -p cp-core
 
+echo "==> cargo test -q [CP_GRAPH_STORE=compressed]"
+# Matrix leg: every kernel walking gap-compressed adjacency instead of
+# the full CSR — storage must never change what is computed.
+CP_GRAPH_STORE=compressed cargo test -q -p cp-core -p cp-stream
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -49,6 +54,13 @@ grep -q '"rows_truncated": [1-9]' "$smoke_out" || {
 # sequence serves charged rows straight from imported donor rows.
 grep -q '"donor_chain_hits": [1-9]' "$smoke_out" || {
     echo "ci.sh: no streaming review ever hit a chained donor row" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
+# The snapshot-store ladder must actually share structure: at least one
+# overlay run borrows a nonzero number of base arcs instead of copying.
+grep -q '"overlay_shared_arcs": [1-9]' "$smoke_out" || {
+    echo "ci.sh: no overlay run ever shared a base arc" >&2
     rm -f "$smoke_out"
     exit 1
 }
