@@ -73,6 +73,15 @@
 //! store's, and the overlay's O(Δ) footprint against the base it borrows
 //! (`overlay_shared_arcs` counts the arcs it never copied).
 //!
+//! **Phase 7 — query-throughput ladder** over the same review sequence:
+//! the `cp-query` layer answers budget-free point queries (`distance` +
+//! `delta`) from published epochs while the engine advances the
+//! [`STREAM_CUTS`] reviews, at 1, 2 and 8 concurrent reader threads.
+//! Recorded per rung: queries/sec and the Exact/Bounded/Unknown answer
+//! mix. A reader-free twin run pins the ledger: every rung's summed
+//! review budget must equal the twin's exactly (`query_budget_charged`
+//! stays 0) — queries are served from immutable epochs and spend nothing.
+//!
 //! Per sweep, three timings: `secs` (whole suite, end to end),
 //! `sssp_secs` (the oracle's distance-row computation, the path the
 //! kernels own), and `sssp_t2_secs` (its `G_t2` share, per-item summed —
@@ -93,9 +102,11 @@ use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, PipelineStats};
 use cp_gen::datasets::{DatasetKind, DatasetProfile, EVAL_SNAPSHOTS};
 use cp_graph::repair::snapshot_delta;
-use cp_graph::{Graph, TemporalGraph};
+use cp_graph::{Graph, NodeId, TemporalGraph};
+use cp_query::{Answer, QueryEngine};
 use cp_stream::{StreamConfig, StreamEngine, StreamError};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Timing of one (dataset, kernel, threads, cache) pipeline sweep.
@@ -349,6 +360,31 @@ struct StoreSummary {
     overlay_shared_arcs: u64,
 }
 
+/// One query-throughput rung (phase 7): point queries answered from
+/// published epochs at a fixed reader-thread count while the engine
+/// advances reviews.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct QuerySweep {
+    dataset: String,
+    /// Concurrent reader threads issuing queries.
+    readers: usize,
+    /// Point queries answered across all readers (distance + delta).
+    queries: u64,
+    /// Wall clock the readers ran for (the review-advance window).
+    secs: f64,
+    /// Queries per second, summed over readers.
+    qps: f64,
+    /// `Answer::Exact` answers observed.
+    exact: u64,
+    /// `Answer::Bounded` answers observed.
+    bounded: u64,
+    /// `Answer::Unknown` answers observed.
+    unknown: u64,
+    /// Summed review ledger of the run — must equal the reader-free
+    /// twin's (queries spend nothing).
+    ledger: u64,
+}
+
 /// Per-dataset Δ-scan kernel comparison (phase 3).
 #[derive(Clone, Debug, Serialize, Deserialize)]
 struct ScanSummary {
@@ -387,6 +423,7 @@ struct Baseline {
     stream: Vec<StreamSummary>,
     store_ladder: Vec<StoreSweep>,
     store: Vec<StoreSummary>,
+    query_ladder: Vec<QuerySweep>,
     /// Suite totals: scalar kernel, one thread, cache off (eval pair).
     scalar_single_secs: f64,
     /// Suite totals: optimized kernel, one thread, cache off (eval pair).
@@ -432,6 +469,21 @@ struct Baseline {
     /// Aggregate `overlay_bytes / base_bytes` — the marginal memory of an
     /// overlay-shared second snapshot.
     overlay_frac: f64,
+    /// `Answer::Exact` point-query answers across the whole query ladder
+    /// (phase 7).
+    query_exact_answers: u64,
+    /// `Answer::Bounded` point-query answers across the whole query
+    /// ladder — nonzero proves the answer lattice's middle rung is live.
+    query_bounded_answers: u64,
+    /// `Answer::Unknown` point-query answers across the whole query
+    /// ladder.
+    query_unknown_answers: u64,
+    /// Summed ledger difference between every query-ladder rung and its
+    /// reader-free twin. Structurally zero: queries are answered from
+    /// published epochs and never touch a budget.
+    query_budget_charged: u64,
+    /// The best queries/sec observed on any query-ladder rung.
+    query_qps_peak: f64,
     /// End-to-end speedup of the optimized parallel configuration over
     /// the scalar single-thread baseline.
     total_speedup: f64,
@@ -649,6 +701,85 @@ fn run_stream_ladder(t: &TemporalGraph, m: u64, seed: u64, chain: bool) -> (Stre
     (sweep, checksum)
 }
 
+/// Phase 7's reader-thread rungs.
+const QUERY_READERS: [usize; 3] = [1, 2, 8];
+
+/// One query-throughput ladder run (phase 7): `readers` concurrent
+/// threads issue point queries (`distance` + `delta`) against whatever
+/// epoch is currently published while the main thread replays the
+/// [`STREAM_CUTS`] reviews. With `readers == 0` this is the reader-free
+/// twin that pins the ledger.
+fn run_query_ladder(t: &TemporalGraph, m: u64, seed: u64, readers: usize) -> QuerySweep {
+    let prefix = |f: f64| ((f * t.num_events() as f64).ceil() as usize).min(t.num_events());
+    let n = t.num_nodes();
+    let mut cfg = StreamConfig::new(
+        m,
+        SelectorKind::Mmsd { landmarks: 10 },
+        TopKSpec::ThresholdFromMax { slack: 1 },
+        seed,
+    );
+    cfg.threads = Some(1);
+    cfg.kernel = Some(BfsKernel::Auto);
+    cfg.row_cache = Some(RowCacheBudget::Unbounded);
+    let mut engine =
+        StreamEngine::from_snapshot(&t.snapshot_of_prefix(prefix(STREAM_CUTS[0])), cfg);
+    let q = QueryEngine::new(engine.reader());
+    let stop = AtomicBool::new(false);
+    let tallies = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
+    let mut ledger = 0u64;
+    let started = Instant::now();
+    crossbeam::thread::scope(|s| {
+        for r in 0..readers {
+            let q = q.clone();
+            let (stop, tallies) = (&stop, &tallies);
+            s.spawn(move |_| {
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let view = q.epoch();
+                    let u = NodeId::new(i % n);
+                    let v = NodeId::new((i * 31 + 7) % n);
+                    for ans in [view.distance(u, v), view.delta(u, v)] {
+                        let slot = match ans {
+                            Answer::Exact(_) => 0,
+                            Answer::Bounded { .. } => 1,
+                            Answer::Unknown => 2,
+                        };
+                        tallies[slot].fetch_add(1, Ordering::Relaxed);
+                    }
+                    i = i.wrapping_add(readers.max(1));
+                }
+            });
+        }
+        for w in STREAM_CUTS.windows(2) {
+            for &e in &t.events()[prefix(w[0])..prefix(w[1])] {
+                match engine.ingest(e) {
+                    Ok(_)
+                    | Err(StreamError::DuplicateEdge { .. })
+                    | Err(StreamError::SelfLoop { .. }) => {}
+                    Err(err) => panic!("sorted dataset stream was rejected: {err}"),
+                }
+            }
+            ledger += engine.review().result.budget.total();
+        }
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("query-ladder reader panicked");
+    let secs = started.elapsed().as_secs_f64();
+    let [exact, bounded, unknown] = tallies.map(AtomicU64::into_inner);
+    let queries = exact + bounded + unknown;
+    QuerySweep {
+        dataset: String::new(),
+        readers,
+        queries,
+        secs,
+        qps: queries as f64 / secs.max(f64::MIN_POSITIVE),
+        exact,
+        bounded,
+        unknown,
+        ledger,
+    }
+}
+
 fn main() {
     let opts = Options::from_env();
     let threads_multi = opts.threads.max(2);
@@ -681,6 +812,10 @@ fn main() {
     let mut stream: Vec<StreamSummary> = Vec::new();
     let mut store_ladder: Vec<StoreSweep> = Vec::new();
     let mut store: Vec<StoreSummary> = Vec::new();
+    let mut query_ladder: Vec<QuerySweep> = Vec::new();
+    let mut query_answer_totals = [0u64; 3]; // phase 7: [exact, bounded, unknown]
+    let mut query_budget_charged = 0u64;
+    let mut query_qps_peak = 0.0f64;
     let mut store_bytes_totals = [0u64; 3]; // phase 6: [full, compressed, overlay] bytes
     let mut store_arcs_total = 0u64;
     let mut totals = [0.0f64; 4];
@@ -1111,6 +1246,34 @@ fn main() {
             overlay_shared_arcs: overlay_row.overlay_shared_arcs,
         });
         store_ladder.append(&mut per_store);
+
+        // ---- Phase 7: query-throughput ladder over published epochs ----
+        let twin = run_query_ladder(&t, m, opts.seed, 0);
+        for readers in QUERY_READERS {
+            let mut sweep = run_query_ladder(&t, m, opts.seed, readers);
+            sweep.dataset = name.to_string();
+            assert_eq!(
+                sweep.ledger, twin.ledger,
+                "{name}: concurrent queries changed the review ledger"
+            );
+            query_budget_charged += sweep.ledger.abs_diff(twin.ledger);
+            query_answer_totals[0] += sweep.exact;
+            query_answer_totals[1] += sweep.bounded;
+            query_answer_totals[2] += sweep.unknown;
+            query_qps_peak = query_qps_peak.max(sweep.qps);
+            eprintln!(
+                "  {name} query [{readers} readers] {} queries in {:.4}s ({:.0} q/s): \
+                 {} exact, {} bounded, {} unknown; ledger {} (= twin, 0 charged)",
+                sweep.queries,
+                sweep.secs,
+                sweep.qps,
+                sweep.exact,
+                sweep.bounded,
+                sweep.unknown,
+                sweep.ledger,
+            );
+            query_ladder.push(sweep);
+        }
     }
 
     let baseline = Baseline {
@@ -1132,6 +1295,7 @@ fn main() {
         stream,
         store_ladder,
         store,
+        query_ladder,
         scalar_single_secs: totals[SLOT_SCALAR],
         optimized_single_secs: totals[SLOT_AUTO],
         multi_thread_secs: totals[SLOT_MULTI],
@@ -1152,6 +1316,11 @@ fn main() {
         compressed_bytes_per_arc: store_bytes_totals[1] as f64 / store_arcs_total.max(1) as f64,
         compressed_ratio: store_bytes_totals[1] as f64 / store_bytes_totals[0].max(1) as f64,
         overlay_frac: store_bytes_totals[2] as f64 / store_bytes_totals[0].max(1) as f64,
+        query_exact_answers: query_answer_totals[0],
+        query_bounded_answers: query_answer_totals[1],
+        query_unknown_answers: query_answer_totals[2],
+        query_budget_charged,
+        query_qps_peak,
         total_speedup: totals[SLOT_SCALAR] / totals[SLOT_MULTI].max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
@@ -1164,7 +1333,8 @@ fn main() {
          best dataset {:.2}x); bound pruning {:.2}x fewer relaxed edges, {:.2}x sssp wall \
          clock; streaming ladder hit rate {:.0}% chained vs {:.0}% rebuilt ({} datasets \
          strictly ahead); snapshot stores {:.2} B/arc compressed vs {:.2} full ({:.2}x \
-         ratio), overlay at {:.1}% of the pair's bytes; suite {:.3}s vs {:.3}s \
+         ratio), overlay at {:.1}% of the pair's bytes; query ladder peak {:.0} q/s \
+         ({} exact / {} bounded / {} unknown, {} budget charged); suite {:.3}s vs {:.3}s \
          single-thread, {:.3}s at {} threads ({:.2}x total)",
         sssp_totals[0],
         sssp_totals[1],
@@ -1186,6 +1356,11 @@ fn main() {
         baseline.full_bytes_per_arc,
         baseline.compressed_ratio,
         100.0 * baseline.overlay_frac,
+        baseline.query_qps_peak,
+        baseline.query_exact_answers,
+        baseline.query_bounded_answers,
+        baseline.query_unknown_answers,
+        baseline.query_budget_charged,
         baseline.scalar_single_secs,
         baseline.optimized_single_secs,
         baseline.multi_thread_secs,

@@ -113,8 +113,10 @@ impl ExactTopK {
     }
 }
 
-/// Sorts pairs canonically: descending Δ, then ascending `(u, v)`.
-pub(crate) fn sort_pairs(pairs: &mut [ConvergingPair]) {
+/// Sorts pairs canonically: descending Δ, then ascending `(u, v)` — the
+/// order every answer list in the library uses (the budgeted pipeline,
+/// the exact baseline, and `cp-query`'s per-seed top-k).
+pub fn sort_pairs(pairs: &mut [ConvergingPair]) {
     pairs.sort_unstable_by(|a, b| b.delta.cmp(&a.delta).then(a.pair.cmp(&b.pair)));
 }
 

@@ -38,9 +38,12 @@
 //! * [`coverage`] — evaluation of a result against the exact ground truth.
 //! * [`experiment`] — the harness that regenerates every table and figure
 //!   of the paper's evaluation section.
-//! * [`estimate`] — an extension beyond the paper: certified Δ lower/upper bounds for
-//!   arbitrary pairs from landmark rows alone (no per-pair SSSP), enabling
-//!   certify/rule-out/undecided triage of hypothesized pairs.
+//! * [`bounds`] — an extension beyond the paper: certified Δ lower/upper
+//!   bounds for arbitrary pairs from landmark rows alone (no per-pair
+//!   SSSP), enabling certify/rule-out/undecided triage of hypothesized
+//!   pairs; also the resident-row landmark indexes shared by the
+//!   pipeline's pre-filter and the streaming query path ([`estimate`] is
+//!   the compatibility shim of its former home).
 //!
 //! Continuous monitoring over whole snapshot sequences lives in the
 //! `cp-stream` crate, built on this crate's oracle and pipeline.
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bounds;
 pub mod coverage;
 pub mod estimate;
 pub mod exact;
@@ -58,6 +62,7 @@ pub mod scan;
 pub mod selectors;
 pub mod topk;
 
+pub use bounds::{DeltaBounds, Triage};
 pub use exact::{exact_top_k, ConvergingPair, ExactTopK, TopKSpec};
 pub use gpk::PairGraph;
 pub use oracle::{BudgetError, BudgetLedger, Phase, SnapshotOracle};

@@ -1286,6 +1286,42 @@ impl<'a> SnapshotOracle<'a> {
         }
     }
 
+    /// Every resident row of one snapshot — bound-truncated rows
+    /// *included*, each tagged — widened to canonical `u32` and sorted by
+    /// source id: `(source, row, truncated)`.
+    ///
+    /// This is the read-only capture behind the streaming query index: a
+    /// truncated row's finite entries are exact distances (the sweep
+    /// settled them before hitting its depth limit), while its
+    /// [`cp_graph::INF`] entries only mean "beyond the prune depth" —
+    /// consumers must treat those entries as *unknown*, never as
+    /// "unreachable" (the [`Self::export_resident_rows`] hand-off skips
+    /// such rows entirely because donors need whole-row exactness).
+    pub fn export_rows_with_flags(&self, which: Snapshot) -> Vec<(u32, Vec<u32>, bool)> {
+        let snap_bit = match which {
+            Snapshot::First => 0u64,
+            Snapshot::Second => 1u64 << 32,
+        };
+        let mut rows = Vec::new();
+        for &key in self.cache.resident.keys() {
+            if key & (1u64 << 32) != snap_bit {
+                continue;
+            }
+            let u = NodeId(key as u32);
+            let Some(r) = self.cache.get_ref(which, u) else {
+                continue;
+            };
+            let mut wide = Vec::new();
+            match r {
+                RowRef::U32(row) => wide.extend_from_slice(row),
+                RowRef::U16(packed) => widen_u16_into(packed, &mut wide),
+            }
+            rows.push((u.0, wide, self.cache.is_truncated(which, u)));
+        }
+        rows.sort_unstable_by_key(|&(u, _, _)| u);
+        rows
+    }
+
     /// Seeds the resident cache with donor rows exported from another
     /// oracle — resident but **unpaid**, so the first use of each row is
     /// still charged to this oracle's own ledger (and then counted in

@@ -11,6 +11,7 @@
 //! 3. Every pair in `M × V` gets its Δ computed from the candidate rows;
 //!    the pairs matching the [`TopKSpec`] are returned.
 
+use crate::bounds::{all_pairs_below, resident_landmark_indexes, MAX_RESIDENT_LANDMARKS};
 use crate::exact::{sort_pairs, ConvergingPair, TopKSpec};
 use crate::oracle::{
     ArenaStats, BfsKernel, BudgetLedger, GraphMemStats, GraphStore, KernelStats, Phase, RowScratch,
@@ -18,8 +19,7 @@ use crate::oracle::{
 };
 use crate::scan::{scan_delta_row, ScanCounters, ScanKernel};
 use crate::selectors::CandidateSelector;
-use cp_graph::landmark_index::LandmarkIndex;
-use cp_graph::{distance_decrease, Graph, NodeId, INF};
+use cp_graph::{distance_decrease, Graph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
@@ -29,11 +29,6 @@ use std::time::Instant;
 /// Candidate count below which the Δ scan runs inline instead of spawning
 /// workers.
 const PARALLEL_SCAN_CUTOFF: usize = 8;
-
-/// Cap on the landmark rows the pre-filter folds into its triangle
-/// bounds: each landmark costs one `O(n)` sweep per wanted candidate, so
-/// past a handful the marginal bound tightening stops paying for itself.
-const PREFILTER_LANDMARKS: usize = 16;
 
 /// Wall-clock and cache instrumentation of one pipeline run. Timings are
 /// measurements, not results: everything else in [`BudgetedResult`] is
@@ -265,6 +260,9 @@ pub fn run_pipeline(
 /// rows can only prove what is already proven. The paper's cost model
 /// still charges them ([`SnapshotOracle::prefetch_node_rows_filtered`]);
 /// only the machine work is skipped. Disabled under [`SsspPrune::Off`].
+///
+/// The bound machinery itself lives in [`crate::bounds`], shared with the
+/// streaming query index captured at epoch publish.
 fn prefilter_candidates(
     oracle: &mut SnapshotOracle<'_>,
     wanted: &[NodeId],
@@ -274,39 +272,13 @@ fn prefilter_candidates(
     if oracle.prune() != SsspPrune::Auto || wanted.is_empty() {
         return dropped;
     }
-    let landmarks: Vec<NodeId> = oracle
-        .fully_cached_nodes()
-        .into_iter()
-        .filter(|&w| oracle.cached_rows(w).is_some())
-        .take(PREFILTER_LANDMARKS)
-        .collect();
-    if landmarks.is_empty() {
+    let Some((index1, index2)) = resident_landmark_indexes(oracle, MAX_RESIDENT_LANDMARKS) else {
         return dropped;
-    }
-    let mut rows1 = Vec::with_capacity(landmarks.len());
-    let mut rows2 = Vec::with_capacity(landmarks.len());
-    for &w in &landmarks {
-        let (r1, r2) = oracle
-            .rows(w)
-            .expect("landmark rows are paid and resident — reading them is free");
-        rows1.push(r1.to_vec());
-        rows2.push(r2.to_vec());
-    }
-    let index1 = LandmarkIndex::from_rows(landmarks.clone(), rows1);
-    let index2 = LandmarkIndex::from_rows(landmarks, rows2);
+    };
     let mut ub1 = Vec::new();
     let mut lb2 = Vec::new();
     for &u in wanted {
-        index1.accumulate_upper_bounds(u, &mut ub1);
-        index2.accumulate_lower_bounds(u, &mut lb2);
-        let all_below = ub1
-            .iter()
-            .zip(lb2.iter())
-            .enumerate()
-            .all(|(v, (&ub, &lb))| {
-                v == u.index() || lb == INF || (ub != INF && ub.saturating_sub(lb) < floor)
-            });
-        if all_below {
+        if all_pairs_below(&index1, &index2, u, floor, &mut ub1, &mut lb2) {
             dropped.insert(u);
         }
     }

@@ -187,6 +187,31 @@ impl LandmarkIndex {
         }
     }
 
+    /// Both bounds on `d(u, v)` in one pass over the landmark rows —
+    /// `(lower, upper)`, with the same conventions as [`Self::lower_bound`]
+    /// and [`Self::upper_bound`]. The point-query hot path calls this per
+    /// lookup, so the rows are walked once instead of twice.
+    pub fn bounds(&self, u: NodeId, v: NodeId) -> (u32, u32) {
+        if u == v {
+            return (0, 0);
+        }
+        let (mut lb, mut ub) = (0u32, INF);
+        for row in &self.rows {
+            let (du, dv) = (row[u.index()], row[v.index()]);
+            match (du == INF, dv == INF) {
+                (false, false) => {
+                    lb = lb.max(du.abs_diff(dv));
+                    ub = ub.min(du.saturating_add(dv));
+                }
+                (true, true) => {}
+                // One endpoint in the landmark's component, one outside:
+                // the pair is certified disconnected.
+                _ => return (INF, INF),
+            }
+        }
+        (lb, ub)
+    }
+
     /// The midpoint estimate `(lower + upper) / 2`, a common scalar
     /// estimator; [`INF`] when the upper bound is infinite.
     pub fn estimate(&self, u: NodeId, v: NodeId) -> u32 {
@@ -316,6 +341,23 @@ mod tests {
         idx.accumulate_lower_bounds(NodeId(0), &mut lbs);
         assert!(ubs.is_empty());
         assert!(lbs.is_empty());
+    }
+
+    #[test]
+    fn fused_bounds_match_separate_probes() {
+        let graphs = [sample(), graph_from_edges(6, &[(0, 1), (1, 2), (4, 5)])];
+        for g in &graphs {
+            let idx = LandmarkIndex::build(g, &[NodeId(0), NodeId(2)]);
+            for u in 0..6u32 {
+                for v in 0..6u32 {
+                    let (lb, ub) = idx.bounds(NodeId(u), NodeId(v));
+                    assert_eq!(lb, idx.lower_bound(NodeId(u), NodeId(v)), "lb({u},{v})");
+                    if lb != INF {
+                        assert_eq!(ub, idx.upper_bound(NodeId(u), NodeId(v)), "ub({u},{v})");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

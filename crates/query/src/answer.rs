@@ -1,0 +1,126 @@
+//! The three-valued answer lattice of the query layer.
+
+use cp_graph::INF;
+
+/// What a budget-free query can say about a distance (or a Δ).
+///
+/// The lattice, from most to least informative:
+///
+/// * [`Answer::Exact`] — the value is proven. `Exact(INF)` means
+///   *certified disconnected* (for distances) — a real answer, not a
+///   failure.
+/// * [`Answer::Bounded`] — the value is bracketed: `lb ≤ x ≤ ub` with
+///   `lb < ub` and at least one side informative.
+/// * [`Answer::Unknown`] — the published epoch proves nothing (no
+///   resident row touches the pair and no landmark gives a nontrivial
+///   bound).
+///
+/// Construction goes through [`Answer::from_interval`], which collapses
+/// degenerate intervals (`lb == ub` → `Exact`, the vacuous `[0, ∞)` →
+/// `Unknown`), so matches on `Bounded` can rely on it being genuinely
+/// partial information.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Answer {
+    /// The value is proven ([`INF`] = certified disconnected).
+    Exact(u32),
+    /// The value lies in `[lb, ub]`; `ub == INF` means "no finite upper
+    /// bound" (the value may even be infinite).
+    Bounded {
+        /// Inclusive lower bound.
+        lb: u32,
+        /// Inclusive upper bound ([`INF`] when only the lower side is
+        /// known).
+        ub: u32,
+    },
+    /// Nothing can be said from published state.
+    Unknown,
+}
+
+impl Answer {
+    /// Normalizes an interval into the lattice: `lb == ub` (including
+    /// `INF == INF`) collapses to [`Answer::Exact`], the vacuous `[0,
+    /// INF]` to [`Answer::Unknown`], anything else is [`Answer::Bounded`].
+    pub fn from_interval(lb: u32, ub: u32) -> Self {
+        debug_assert!(lb <= ub, "inverted interval [{lb}, {ub}]");
+        if lb == ub {
+            Answer::Exact(lb)
+        } else if lb == 0 && ub == INF {
+            Answer::Unknown
+        } else {
+            Answer::Bounded { lb, ub }
+        }
+    }
+
+    /// The inclusive lower bound this answer proves (0 for `Unknown`).
+    pub fn lb(&self) -> u32 {
+        match *self {
+            Answer::Exact(d) => d,
+            Answer::Bounded { lb, .. } => lb,
+            Answer::Unknown => 0,
+        }
+    }
+
+    /// The inclusive upper bound this answer proves ([`INF`] for
+    /// `Unknown`).
+    pub fn ub(&self) -> u32 {
+        match *self {
+            Answer::Exact(d) => d,
+            Answer::Bounded { ub, .. } => ub,
+            Answer::Unknown => INF,
+        }
+    }
+
+    /// Whether the answer is exact.
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Answer::Exact(_))
+    }
+
+    /// Whether the answer carries *some* information (not `Unknown`).
+    pub fn is_informative(&self) -> bool {
+        !matches!(self, Answer::Unknown)
+    }
+
+    /// Whether `value` is consistent with this answer — the soundness
+    /// predicate the conformance suite checks against from-scratch truth.
+    pub fn admits(&self, value: u32) -> bool {
+        self.lb() <= value && value <= self.ub()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_normalization() {
+        assert_eq!(Answer::from_interval(3, 3), Answer::Exact(3));
+        assert_eq!(Answer::from_interval(INF, INF), Answer::Exact(INF));
+        assert_eq!(Answer::from_interval(0, INF), Answer::Unknown);
+        assert_eq!(
+            Answer::from_interval(2, 7),
+            Answer::Bounded { lb: 2, ub: 7 }
+        );
+        assert_eq!(
+            Answer::from_interval(0, 7),
+            Answer::Bounded { lb: 0, ub: 7 }
+        );
+        assert_eq!(
+            Answer::from_interval(2, INF),
+            Answer::Bounded { lb: 2, ub: INF }
+        );
+    }
+
+    #[test]
+    fn bounds_and_admission() {
+        assert_eq!(Answer::Exact(4).lb(), 4);
+        assert_eq!(Answer::Exact(4).ub(), 4);
+        assert!(Answer::Exact(4).admits(4));
+        assert!(!Answer::Exact(4).admits(5));
+        let b = Answer::Bounded { lb: 2, ub: 6 };
+        assert!(b.admits(2) && b.admits(6) && !b.admits(7) && !b.admits(1));
+        assert!(Answer::Unknown.admits(0) && Answer::Unknown.admits(INF));
+        assert!(Answer::Unknown.ub() == INF && Answer::Unknown.lb() == 0);
+        assert!(!Answer::Unknown.is_informative());
+        assert!(Answer::Exact(0).is_informative() && Answer::Exact(0).is_exact());
+    }
+}

@@ -1,0 +1,80 @@
+//! Composable traversal cursors over a pinned epoch's graph.
+
+use cp_graph::NodeId;
+use cp_stream::StreamSnapshot;
+use std::sync::Arc;
+
+/// A breadth-first frontier over one pinned epoch's graph, built by
+/// chaining [`Cursor::step`] and [`Cursor::filter`] and drained by
+/// [`Cursor::collect`].
+///
+/// The cursor owns an `Arc` of the epoch it was created on, so it stays
+/// valid — and keeps answering about the *same* graph — however many
+/// reviews the engine publishes while the traversal is being composed.
+/// The frontier is kept sorted and deduplicated; traversal is read-only
+/// and, like every query, spends no budget.
+#[derive(Clone)]
+pub struct Cursor {
+    snap: Arc<StreamSnapshot>,
+    frontier: Vec<NodeId>,
+    depth: u32,
+}
+
+impl Cursor {
+    /// A cursor whose frontier is exactly `{start}` at depth 0 (empty when
+    /// `start` is outside the epoch's node universe).
+    pub(crate) fn rooted(snap: Arc<StreamSnapshot>, start: NodeId) -> Self {
+        let frontier = if start.index() < snap.graph.num_nodes() {
+            vec![start]
+        } else {
+            Vec::new()
+        };
+        Cursor {
+            snap,
+            frontier,
+            depth: 0,
+        }
+    }
+
+    /// Advances the frontier one hop: the union of all neighbors of the
+    /// current frontier, sorted and deduplicated. Note this is the *next
+    /// ring as a set*, not a visited-set BFS — stepping twice from `u`
+    /// can return to `u` through any neighbor.
+    pub fn step(mut self) -> Self {
+        let mut next = Vec::new();
+        for &u in &self.frontier {
+            next.extend_from_slice(self.snap.graph.neighbors(u));
+        }
+        next.sort_unstable();
+        next.dedup();
+        self.frontier = next;
+        self.depth += 1;
+        self
+    }
+
+    /// Keeps only frontier nodes satisfying `pred`.
+    pub fn filter<F: FnMut(NodeId) -> bool>(mut self, mut pred: F) -> Self {
+        self.frontier.retain(|&u| pred(u));
+        self
+    }
+
+    /// The current frontier, sorted ascending.
+    pub fn collect(self) -> Vec<NodeId> {
+        self.frontier
+    }
+
+    /// The current frontier without consuming the cursor.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.frontier
+    }
+
+    /// How many [`Cursor::step`]s have been taken.
+    pub fn depth(&self) -> u32 {
+        self.depth
+    }
+
+    /// Whether the frontier is empty (further steps stay empty).
+    pub fn is_empty(&self) -> bool {
+        self.frontier.is_empty()
+    }
+}

@@ -1,5 +1,6 @@
 //! The streaming engine: ingest, review, chain, publish.
 
+use crate::index::QueryIndex;
 use crate::subs::{PairTrack, StreamEvent, Watch, WatchId, WatchKind};
 use cp_core::exact::TopKSpec;
 use cp_core::oracle::{
@@ -213,6 +214,11 @@ pub struct StreamSnapshot {
     pub events: Vec<StreamEvent>,
     /// Per-review instrumentation.
     pub stats: StreamStats,
+    /// Read-only query material captured from the review's oracle before
+    /// it was dropped: resident rows (truncation-flagged), landmark
+    /// indexes, and the review's Δ floor. Point queries (`cp-query`) are
+    /// served entirely from this — no budget, no locks, no engine access.
+    pub query: Arc<QueryIndex>,
 }
 
 /// A cloneable read handle onto the engine's latest published epoch.
@@ -291,6 +297,7 @@ impl StreamEngine {
             },
             events: Vec::new(),
             stats: StreamStats::default(),
+            query: Arc::new(QueryIndex::empty(acc.num_nodes())),
         });
         let review_mark = acc.insertions();
         StreamEngine {
@@ -528,6 +535,12 @@ impl StreamEngine {
         self.handoff = chaining.then(|| oracle.export_resident_rows(Snapshot::Second));
         let repaired_rows = oracle.repaired_rows();
         let donor_chain_hits = oracle.chained_rows();
+        // Capture the query material while the oracle still owns its row
+        // cache; the published epoch serves point queries from this copy.
+        let query = Arc::new(QueryIndex::capture(
+            &oracle,
+            self.config.spec.initial_floor(),
+        ));
         drop(oracle);
 
         for p in &result.pairs {
@@ -570,6 +583,7 @@ impl StreamEngine {
             result,
             events,
             stats,
+            query,
         });
         *self.shared.write() = Arc::clone(&snap);
         self.current = next;

@@ -25,6 +25,11 @@
 //! * **Publish** — each review becomes an immutable epoch
 //!   ([`StreamSnapshot`]) swapped behind an `Arc`; [`StreamReader`]
 //!   handles never observe a half-advanced step.
+//! * **Serve** — each epoch carries a read-only [`QueryIndex`] (resident
+//!   rows with their truncation flags, landmark row indexes, the review's
+//!   Δ floor) captured from the review's oracle at publish. The
+//!   `cp-query` crate answers budget-free point queries entirely from
+//!   this published material.
 //! * **Subscribe** — [`StreamEngine::watch_pair`] /
 //!   [`StreamEngine::watch_node`] / [`StreamEngine::watch_topk`] deliver
 //!   [`StreamEvent`]s per review ("Δ(u,v) ≥ τ", "pair entered/left the
@@ -37,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod index;
 pub mod monitor;
 pub mod subs;
 
@@ -44,5 +50,6 @@ pub use engine::{
     ReviewPolicy, StreamConfig, StreamEngine, StreamError, StreamReader, StreamSnapshot,
     StreamStats,
 };
+pub use index::{QueryIndex, QueryRow};
 pub use monitor::{ConvergenceMonitor, MonitorConfig, MonitorStep, PairHistory};
 pub use subs::{PairTrack, StreamEvent, WatchId};

@@ -1,0 +1,147 @@
+//! Subscription edge cases: degenerate specs, silent watches, mid-stream
+//! unsubscription, and duplicate registrations.
+//!
+//! The scenario throughout is the library's canonical one: a 10-node path
+//! that gains shortcuts, so convergence events are hand-checkable.
+
+use cp_core::exact::TopKSpec;
+use cp_core::selectors::SelectorKind;
+use cp_graph::{NodeId, TimedEdge};
+use cp_stream::{StreamConfig, StreamEngine, StreamEvent};
+
+fn path_engine(spec: TopKSpec) -> StreamEngine {
+    let cfg = StreamConfig::new(10, SelectorKind::Degree, spec, 7);
+    let mut engine = StreamEngine::new(10, cfg);
+    for i in 0..9u32 {
+        engine
+            .ingest(TimedEdge {
+                u: NodeId(i),
+                v: NodeId(i + 1),
+                time: 0,
+            })
+            .unwrap();
+    }
+    engine.review();
+    engine
+}
+
+fn add_edge(engine: &mut StreamEngine, u: u32, v: u32, time: u64) {
+    engine
+        .ingest(TimedEdge {
+            u: NodeId(u),
+            v: NodeId(v),
+            time,
+        })
+        .unwrap();
+}
+
+/// A top-k watch over a `TopK(0)` spec: the reported set is empty at
+/// every review, so nothing can ever enter or leave it — the watch stays
+/// registered and silent, and reviews still publish clean (pair-free)
+/// epochs.
+#[test]
+fn topk_watch_under_topk0_spec_never_fires() {
+    let mut engine = path_engine(TopKSpec::TopK(0));
+    let w = engine.watch_topk();
+    add_edge(&mut engine, 0, 9, 1);
+    let e1 = engine.review();
+    add_edge(&mut engine, 0, 5, 2);
+    let e2 = engine.review();
+    for epoch in [&e1, &e2] {
+        assert!(
+            epoch.result.pairs.is_empty(),
+            "TopK(0) must report no pairs"
+        );
+        assert!(
+            epoch.events.is_empty(),
+            "TopK(0) fired events: {:?}",
+            epoch.events
+        );
+    }
+    assert!(engine.unwatch(w), "the silent watch stayed registered");
+}
+
+/// A pair watch on a pair that never converges (and whose rows are never
+/// resident) stays silent across reviews that do fire other watches — the
+/// silence is the watch's, not the review's. A threshold just above the
+/// pair's actual Δ is equally silent.
+#[test]
+fn pair_watch_on_never_reported_pair_stays_silent() {
+    let mut engine = path_engine(TopKSpec::ThresholdFromMax { slack: 0 });
+    let silent = engine.watch_pair(NodeId(3), NodeId(7), 1);
+    let too_high = engine.watch_pair(NodeId(0), NodeId(9), 9);
+    let firing = engine.watch_pair(NodeId(0), NodeId(9), 1);
+    add_edge(&mut engine, 0, 9, 1);
+    let epoch = engine.review();
+    assert!(
+        epoch.events.iter().all(|e| e.watch() != silent),
+        "the never-reported pair fired: {:?}",
+        epoch.events
+    );
+    assert!(
+        epoch.events.iter().all(|e| e.watch() != too_high),
+        "tau above the pair's Δ fired: {:?}",
+        epoch.events
+    );
+    let fired: Vec<_> = epoch
+        .events
+        .iter()
+        .filter(|e| e.watch() == firing)
+        .collect();
+    assert_eq!(fired.len(), 1, "the real convergence must fire once");
+    match fired[0] {
+        StreamEvent::PairConverged { pair, delta, .. } => {
+            assert_eq!(*pair, (NodeId(0), NodeId(9)));
+            assert_eq!(*delta, 8, "the path shortcut's Δ");
+        }
+        other => panic!("wrong event kind: {other:?}"),
+    }
+}
+
+/// Duplicate registrations are distinct subscriptions: both fire the same
+/// event payload under their own ids — and unsubscribing one between
+/// reviews silences exactly that one, while the twin keeps firing
+/// (proving the later review had fireable material).
+#[test]
+fn duplicate_watches_are_distinct_and_unwatch_silences_only_one() {
+    let mut engine = path_engine(TopKSpec::ThresholdFromMax { slack: 0 });
+    let w1 = engine.watch_node(NodeId(0), 1);
+    let w2 = engine.watch_node(NodeId(0), 1);
+    assert_ne!(w1, w2, "duplicate registration must get a fresh id");
+
+    add_edge(&mut engine, 0, 9, 1);
+    let epoch = engine.review();
+    let events_of = |epoch: &cp_stream::StreamSnapshot, w| {
+        epoch
+            .events
+            .iter()
+            .filter(|e| e.watch() == w)
+            .map(|e| e.pair())
+            .collect::<Vec<_>>()
+    };
+    let first = events_of(&epoch, w1);
+    assert!(!first.is_empty(), "node watch missed the convergence");
+    assert_eq!(
+        first,
+        events_of(&epoch, w2),
+        "duplicate watches must fire identically"
+    );
+
+    // Unsubscribe w1 between reviews; a second unwatch of the same id is
+    // a clean no-op.
+    assert!(engine.unwatch(w1));
+    assert!(!engine.unwatch(w1), "double unwatch must report false");
+
+    add_edge(&mut engine, 0, 5, 2);
+    let epoch = engine.review();
+    assert!(
+        events_of(&epoch, w1).is_empty(),
+        "unsubscribed watch still fired"
+    );
+    let survivor = events_of(&epoch, w2);
+    assert_eq!(
+        survivor,
+        vec![(NodeId(0), NodeId(5))],
+        "surviving twin must see the second shortcut"
+    );
+}

@@ -1,0 +1,122 @@
+//! Budget-free point queries over published epochs — an analyst dashboard
+//! asking `d(u, v)` / `Δ(u, v)` questions *between* reviews.
+//!
+//! A collaboration network is replayed into a [`StreamEngine`]; each review
+//! spends its SSSP budget and publishes an immutable epoch. A
+//! [`QueryEngine`] then serves arbitrary point queries from the published
+//! material alone — the resident rows the review already paid for plus a
+//! handful of landmark rows — spending zero additional budget. Answers are
+//! honest: `Exact` where a resident row proves the distance, `Bounded`
+//! where only landmark triangle bounds apply, `Unknown` where the epoch
+//! has nothing to say.
+//!
+//! ```text
+//! cargo run --release --example point_queries
+//! ```
+
+use converging_pairs::prelude::*;
+
+fn main() {
+    let temporal = DatasetProfile::scaled(DatasetKind::Dblp, 0.05).generate(2026);
+    let events = temporal.events();
+    let first = temporal.snapshot_at_fraction(0.6);
+    println!(
+        "collaboration graph: {} authors, {} co-authorships in the first window",
+        first.num_active_nodes(),
+        first.num_edges()
+    );
+
+    let m = (first.num_nodes() as u64) / 50; // 2 % probe budget per review
+    let config = StreamConfig::new(
+        m,
+        SelectorKind::Mmsd { landmarks: 10 },
+        TopKSpec::Threshold { delta_min: 2 },
+        11,
+    );
+    let mut engine = StreamEngine::from_snapshot(&first, config);
+
+    // The query side holds only a reader handle — it can never touch the
+    // engine, its ledger, or its locks.
+    let q = QueryEngine::new(engine.reader());
+
+    let cut = |f: f64| ((f * events.len() as f64).ceil() as usize).min(events.len());
+    let mut fed = cut(0.6);
+    for (i, f) in [0.8, 1.0].into_iter().enumerate() {
+        let end = cut(f);
+        for &e in &events[fed..end] {
+            let _ = engine.ingest(e); // generators re-announce edges
+        }
+        fed = end;
+        let epoch = engine.review();
+        println!(
+            "\nreview {}: {} SSSPs spent, {} pairs reported",
+            i + 1,
+            epoch.result.budget.total(),
+            epoch.result.pairs.len()
+        );
+
+        // Pin the freshly published epoch and sweep point queries over it.
+        // Every answer below is served without spending a single SSSP.
+        let view = q.epoch();
+        let n = epoch.graph.num_nodes() as u32;
+        let (mut exact, mut bounded, mut unknown) = (0u64, 0u64, 0u64);
+        for probe in 0..2_000u32 {
+            let u = NodeId(probe % n);
+            let v = NodeId((probe.wrapping_mul(31).wrapping_add(7)) % n);
+            match view.distance(u, v) {
+                Answer::Exact(_) => exact += 1,
+                Answer::Bounded { .. } => bounded += 1,
+                Answer::Unknown => unknown += 1,
+            }
+        }
+        println!(
+            "  2000 random d(u,v) probes against epoch {}: \
+             {exact} exact, {bounded} bounded, {unknown} unknown",
+            view.review()
+        );
+
+        // Drill into the top reported pair: its Δ is provable from the
+        // epoch, and a resident seed's whole top-k carries a completeness
+        // flag. A pair is discovered through one endpoint's charged row, so
+        // probe both — the charged side answers in full.
+        if let Some(p) = epoch.result.pairs.first() {
+            let (u, v) = p.pair;
+            println!(
+                "  top pair ({u}, {v}): d = {:?}, delta = {:?}",
+                view.distance(u, v),
+                view.delta(u, v)
+            );
+            let seed = if view.topk_for_seed(u, 3).pairs.is_empty() {
+                v
+            } else {
+                u
+            };
+            let top = view.topk_for_seed(seed, 3);
+            println!(
+                "  top-3 for seed {seed}: {:?}{}",
+                top.pairs
+                    .iter()
+                    .map(|c| (c.pair.0 .0, c.pair.1 .0, c.delta))
+                    .collect::<Vec<_>>(),
+                if top.complete {
+                    " (certified complete)"
+                } else {
+                    " (best effort)"
+                }
+            );
+
+            // Composable traversal pinned to the same epoch's graph: the
+            // seed's two-hop neighborhood, high-degree nodes only.
+            let hub_ring = view
+                .from(u)
+                .step()
+                .step()
+                .filter(|w| epoch.graph.degree(w) >= 5)
+                .collect();
+            println!(
+                "  {} nodes within two hops of {u} have degree >= 5",
+                hub_ring.len()
+            );
+        }
+    }
+}

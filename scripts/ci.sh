@@ -29,6 +29,12 @@ echo "==> cargo test -q [CP_GRAPH_STORE=compressed]"
 # the full CSR — storage must never change what is computed.
 CP_GRAPH_STORE=compressed cargo test -q -p cp-core -p cp-stream
 
+echo "==> cargo test -q -p cp-query [query conformance]"
+# Query-serving leg: the differential conformance suite proves every
+# Exact answer equals from-scratch BFS truth and every Bounded answer
+# brackets it, plus the 8-reader concurrency stress.
+cargo test -q -p cp-query
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
@@ -61,6 +67,20 @@ grep -q '"donor_chain_hits": [1-9]' "$smoke_out" || {
 # overlay run borrows a nonzero number of base arcs instead of copying.
 grep -q '"overlay_shared_arcs": [1-9]' "$smoke_out" || {
     echo "ci.sh: no overlay run ever shared a base arc" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
+# The query ladder must produce partial-information answers: at least
+# one point query answered Bounded (not just Exact/Unknown).
+grep -q '"query_bounded_answers": [1-9]' "$smoke_out" || {
+    echo "ci.sh: the query ladder never produced a Bounded answer" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
+# And the query path must be budget-free: the ladder's summed ledger
+# difference against its reader-free twin is exactly zero.
+grep -q '"query_budget_charged": 0,' "$smoke_out" || {
+    echo "ci.sh: concurrent queries charged the review ledger" >&2
     rm -f "$smoke_out"
     exit 1
 }

@@ -25,6 +25,10 @@
 //! * [`stream`] (`cp-stream`) — the streaming convergence engine: edge
 //!   events in, budgeted reviews out on a policy, row cache chained across
 //!   reviews, subscription watches, immutable published epochs.
+//! * [`query`] (`cp-query`) — budget-free point queries (`d(u,v)`,
+//!   `Δ(u,v)`), per-seed top-k and composable traversals served entirely
+//!   from published epochs, with honest `Exact`/`Bounded`/`Unknown`
+//!   answers.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +58,7 @@ pub use cp_core as core;
 pub use cp_gen as gen;
 pub use cp_graph as graph;
 pub use cp_ml as ml;
+pub use cp_query as query;
 pub use cp_stream as stream;
 
 /// Commonly used items, re-exported flat.
@@ -65,6 +70,7 @@ pub mod prelude {
     pub use cp_core::topk::{budgeted_top_k, BudgetedResult};
     pub use cp_gen::datasets::{DatasetKind, DatasetProfile};
     pub use cp_graph::{Graph, GraphBuilder, NodeId, TemporalGraph, TimedEdge, INF};
+    pub use cp_query::{Answer, EpochView, QueryEngine};
     pub use cp_stream::{
         ConvergenceMonitor, MonitorConfig, ReviewPolicy, StreamConfig, StreamEngine, StreamEvent,
     };
