@@ -138,6 +138,10 @@ struct SweepTiming {
     repair_frontier_nodes: u64,
     /// Resident row-cache bytes at the end of the suite's largest run.
     cache_bytes: usize,
+    /// Persistent-executor activity within the best repeat (batches,
+    /// tasks, steals, park/unpark events; `workers_spawned` is the
+    /// pool's size — spawned once per process, not per batch).
+    exec: cp_exec::ExecStats,
 }
 
 /// Per-dataset kernel-ladder comparison at one worker thread (phase 1,
@@ -159,6 +163,17 @@ struct DatasetSummary {
     /// `scalar_single_secs / optimized_single_secs`: whole suite,
     /// including work no kernel touches.
     suite_speedup: f64,
+    /// Whole suite at `threads_multi` workers: the best single-thread
+    /// config (auto kernel, cache off) run on the persistent pool.
+    multi_thread_secs: f64,
+    /// The smallest whole-suite seconds across the optimized rungs
+    /// (auto@1 cache-off, auto@1 + repair, auto@threads_multi).
+    best_config_secs: f64,
+    /// `true` when the `threads_multi` rung lost to its single-thread
+    /// twin (the same auto-kernel cache-off config at one thread) by
+    /// more than a 15 % + 50 ms noise allowance — the per-batch
+    /// thread-spawn regression the persistent executor exists to kill.
+    thread_regression: bool,
 }
 
 /// Per-dataset repair comparison on the tight snapshot pair (phase 2,
@@ -428,7 +443,8 @@ struct Baseline {
     scalar_single_secs: f64,
     /// Suite totals: optimized kernel, one thread, cache off (eval pair).
     optimized_single_secs: f64,
-    /// Suite totals: optimized kernel + repair, `threads_multi` threads.
+    /// Suite totals: optimized kernel, cache off, `threads_multi`
+    /// threads — `optimized_single_secs` with the pool turned on.
     multi_thread_secs: f64,
     /// Single-thread kernel speedup on the oracle SSSP path, scalar vs
     /// optimized (both cache-off), summed over datasets.
@@ -484,12 +500,28 @@ struct Baseline {
     query_budget_charged: u64,
     /// The best queries/sec observed on any query-ladder rung.
     query_qps_peak: f64,
-    /// End-to-end speedup of the optimized parallel configuration over
-    /// the scalar single-thread baseline.
+    /// Suite totals of the fastest optimized rung per dataset (auto@1
+    /// cache-off, auto@1 + repair, or auto@`threads_multi` cache-off).
+    best_config_secs: f64,
+    /// `true` when any dataset's `threads_multi` rung lost to its
+    /// single-thread twin — see [`DatasetSummary::thread_regression`].
+    thread_regression: bool,
+    /// Work-stealing events across every phase-1/phase-2 sweep's best
+    /// repeat — nonzero proves chunks actually migrate between the
+    /// persistent pool's workers.
+    exec_steals: u64,
+    /// End-to-end speedup of the best optimized configuration over the
+    /// scalar single-thread baseline.
     total_speedup: f64,
 }
 
 const REPEATS: u32 = 3;
+/// The phase-1 rung ladder feeds the headline threads-on/threads-off
+/// comparison, so it gets more repeats than the section ladders: on a
+/// shared single-core container individual suite runs jitter by
+/// ±15-30 %, and a best-of-5 interleaved floor is what makes the rung
+/// deltas reproducible.
+const PHASE1_REPEATS: u32 = 5;
 
 /// Phase 2's first-snapshot cut: the last 5 % of the stream is the delta,
 /// emulating a re-evaluation shortly after the previous one.
@@ -504,6 +536,7 @@ const STREAM_CUTS: [f64; 6] = [0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
 /// kernels-only, kernels + repair, everything at full threads.
 const SLOT_SCALAR: usize = 0;
 const SLOT_AUTO: usize = 1;
+const SLOT_REPAIR: usize = 2;
 const SLOT_MULTI: usize = 3;
 
 /// Accumulated pipeline counters of one suite run.
@@ -518,10 +551,12 @@ struct SuiteRun {
     repaired_rows: u64,
     repair_frontier_nodes: u64,
     cache_bytes: usize,
+    exec: cp_exec::ExecStats,
 }
 
 impl SuiteRun {
     fn absorb(&mut self, stats: &PipelineStats) {
+        self.exec.absorb(&stats.exec);
         self.sssp_secs += stats.sssp_secs;
         self.sssp_t2_secs += stats.sssp_t2_secs;
         self.sssp_computed += stats.sssp_computed;
@@ -726,13 +761,35 @@ fn run_query_ladder(t: &TemporalGraph, m: u64, seed: u64, readers: usize) -> Que
     let q = QueryEngine::new(engine.reader());
     let stop = AtomicBool::new(false);
     let tallies = [AtomicU64::new(0), AtomicU64::new(0), AtomicU64::new(0)];
-    let mut ledger = 0u64;
     let started = Instant::now();
-    crossbeam::thread::scope(|s| {
-        for r in 0..readers {
-            let q = q.clone();
-            let (stop, tallies) = (&stop, &tallies);
-            s.spawn(move |_| {
+    // The review driver runs on the caller thread; readers run on a
+    // dedicated pool (not the global one, which the reviews' oracles
+    // use for their own fan-out and which runs one batch at a time).
+    let drive = |engine: &mut StreamEngine| -> u64 {
+        let mut ledger = 0u64;
+        for w in STREAM_CUTS.windows(2) {
+            for &e in &t.events()[prefix(w[0])..prefix(w[1])] {
+                match engine.ingest(e) {
+                    Ok(_)
+                    | Err(StreamError::DuplicateEdge { .. })
+                    | Err(StreamError::SelfLoop { .. }) => {}
+                    Err(err) => panic!("sorted dataset stream was rejected: {err}"),
+                }
+            }
+            ledger += engine.review().result.budget.total();
+        }
+        stop.store(true, Ordering::Relaxed);
+        ledger
+    };
+    let ledger = if readers == 0 {
+        drive(&mut engine)
+    } else {
+        let pool = cp_exec::Executor::new(readers);
+        let mut slots = vec![(); readers];
+        pool.run_with_driver(
+            &mut slots,
+            readers,
+            |r, _slot, _ctx| {
                 let mut i = r;
                 while !stop.load(Ordering::Relaxed) {
                     let view = q.epoch();
@@ -746,24 +803,12 @@ fn run_query_ladder(t: &TemporalGraph, m: u64, seed: u64, readers: usize) -> Que
                         };
                         tallies[slot].fetch_add(1, Ordering::Relaxed);
                     }
-                    i = i.wrapping_add(readers.max(1));
+                    i = i.wrapping_add(readers);
                 }
-            });
-        }
-        for w in STREAM_CUTS.windows(2) {
-            for &e in &t.events()[prefix(w[0])..prefix(w[1])] {
-                match engine.ingest(e) {
-                    Ok(_)
-                    | Err(StreamError::DuplicateEdge { .. })
-                    | Err(StreamError::SelfLoop { .. }) => {}
-                    Err(err) => panic!("sorted dataset stream was rejected: {err}"),
-                }
-            }
-            ledger += engine.review().result.budget.total();
-        }
-        stop.store(true, Ordering::Relaxed);
-    })
-    .expect("query-ladder reader panicked");
+            },
+            || drive(&mut engine),
+        )
+    };
     let secs = started.elapsed().as_secs_f64();
     let [exact, bounded, unknown] = tallies.map(AtomicU64::into_inner);
     let queries = exact + bounded + unknown;
@@ -790,16 +835,22 @@ fn main() {
 
     eprintln!(
         "pipeline_baseline: scale {}, seed {}, m {m}; phase 1 (eval pair): scalar@1 vs auto@1 \
-         vs auto@1+repair vs auto@{threads_multi}+repair; phase 2 (t1 = {REPAIR_T1}): repair \
+         vs auto@1+repair vs auto@{threads_multi}; phase 2 (t1 = {REPAIR_T1}): repair \
          off vs on",
         opts.scale, opts.seed
     );
 
+    // The threaded rung rides the best single-thread config (auto
+    // kernel, cache off at the eval pair's 20 % delta) rather than the
+    // cache-on rung the seed used: threading a config that was never
+    // the best config is exactly the misleading comparison the summary
+    // used to make. `multi_thread_secs` vs `optimized_single_secs` is
+    // now a pure threads-on/threads-off A/B over the same pipeline.
     let configs = [
         (BfsKernel::Scalar, 1usize, RowCacheBudget::Bytes(0)),
         (BfsKernel::Auto, 1, RowCacheBudget::Bytes(0)),
         (BfsKernel::Auto, 1, RowCacheBudget::Unbounded),
-        (BfsKernel::Auto, threads_multi, RowCacheBudget::Unbounded),
+        (BfsKernel::Auto, threads_multi, RowCacheBudget::Bytes(0)),
     ];
     let mut sweeps: Vec<SweepTiming> = Vec::new();
     let mut datasets: Vec<DatasetSummary> = Vec::new();
@@ -837,15 +888,26 @@ fn main() {
         let (g1, g2) = t.snapshot_pair(EVAL_SNAPSHOTS.0, EVAL_SNAPSHOTS.1);
         let mut per_config = [0.0f64; 4];
         let mut per_config_sssp = [0.0f64; 4];
+        // Interleave the repeats round-robin across the four configs
+        // instead of running each config's repeats back-to-back: on a
+        // shared container, ambient slowdowns last seconds and would
+        // otherwise bias whole rungs. Round-robin puts every config
+        // under roughly the same conditions each round, so the
+        // best-of-repeats rung comparison measures the config, not the
+        // weather.
+        let mut bests: [Option<SuiteRun>; 4] = [const { None }; 4];
+        for _ in 0..PHASE1_REPEATS {
+            for (slot, &(kernel, threads, cache)) in configs.iter().enumerate() {
+                let run = run_suite(
+                    &g1, &g2, &suite, &spec, m, opts.seed, threads, kernel, cache,
+                );
+                if bests[slot].as_ref().is_none_or(|b| run.secs < b.secs) {
+                    bests[slot] = Some(run);
+                }
+            }
+        }
         for (slot, &(kernel, threads, cache)) in configs.iter().enumerate() {
-            let best = best_of(
-                || {
-                    run_suite(
-                        &g1, &g2, &suite, &spec, m, opts.seed, threads, kernel, cache,
-                    )
-                },
-                |r| r.secs,
-            );
+            let best = bests[slot].take().expect("REPEATS >= 1");
             eprintln!(
                 "  {name} [{} cache={}] @ {threads} thread(s): {:.3}s suite, {:.3}s sssp \
                  ({:.4}s t2, {} SSSPs, {} waves, {} repaired)",
@@ -875,10 +937,26 @@ fn main() {
                 repaired_rows: best.repaired_rows,
                 repair_frontier_nodes: best.repair_frontier_nodes,
                 cache_bytes: best.cache_bytes,
+                exec: best.exec,
             });
         }
         sssp_totals[0] += per_config_sssp[SLOT_SCALAR];
         sssp_totals[1] += per_config_sssp[SLOT_AUTO];
+        // Flag only losses beyond a 15 % + 50 ms noise allowance.
+        // Cross-run jitter on this shared single-core container
+        // reaches ±15-30 % per rung even at best-of-5 (ambient host
+        // interference, not the code under test), while the spawn-tax
+        // regression this flag guards against was +64 % / +4 s on the
+        // worst dataset — far outside the allowance.
+        let thread_regression = per_config[SLOT_MULTI] > per_config[SLOT_AUTO] * 1.15
+            && per_config[SLOT_MULTI] - per_config[SLOT_AUTO] > 0.050;
+        if thread_regression {
+            eprintln!(
+                "  {name}: THREAD REGRESSION — {threads_multi} threads ({:.3}s) lost to 1 \
+                 thread ({:.3}s)",
+                per_config[SLOT_MULTI], per_config[SLOT_AUTO],
+            );
+        }
         datasets.push(DatasetSummary {
             dataset: name.to_string(),
             scalar_single_secs: per_config[SLOT_SCALAR],
@@ -888,6 +966,11 @@ fn main() {
             kernel_speedup: per_config_sssp[SLOT_SCALAR]
                 / per_config_sssp[SLOT_AUTO].max(f64::MIN_POSITIVE),
             suite_speedup: per_config[SLOT_SCALAR] / per_config[SLOT_AUTO].max(f64::MIN_POSITIVE),
+            multi_thread_secs: per_config[SLOT_MULTI],
+            best_config_secs: per_config[SLOT_AUTO]
+                .min(per_config[SLOT_REPAIR])
+                .min(per_config[SLOT_MULTI]),
+            thread_regression,
         });
 
         // ---- Phase 2: repair on the tight (incremental) pair ----
@@ -928,6 +1011,7 @@ fn main() {
                 repaired_rows: best.repaired_rows,
                 repair_frontier_nodes: best.repair_frontier_nodes,
                 cache_bytes: best.cache_bytes,
+                exec: best.exec,
             });
             phase2[i] = best;
         }
@@ -1276,6 +1360,8 @@ fn main() {
         }
     }
 
+    let thread_regression = datasets.iter().any(|d| d.thread_regression);
+    let exec_steals: u64 = sweeps.iter().map(|s| s.exec.exec_steals).sum();
     let baseline = Baseline {
         benchmark: "table5_pipeline".to_string(),
         scale: opts.scale,
@@ -1321,7 +1407,16 @@ fn main() {
         query_unknown_answers: query_answer_totals[2],
         query_budget_charged,
         query_qps_peak,
-        total_speedup: totals[SLOT_SCALAR] / totals[SLOT_MULTI].max(f64::MIN_POSITIVE),
+        best_config_secs: totals[SLOT_AUTO]
+            .min(totals[SLOT_REPAIR])
+            .min(totals[SLOT_MULTI]),
+        thread_regression,
+        exec_steals,
+        total_speedup: totals[SLOT_SCALAR]
+            / totals[SLOT_AUTO]
+                .min(totals[SLOT_REPAIR])
+                .min(totals[SLOT_MULTI])
+                .max(f64::MIN_POSITIVE),
     };
     let rendered = serde_json::to_string_pretty(&baseline).expect("baseline serializes");
     std::fs::write(out, &rendered).unwrap_or_else(|e| panic!("write {out}: {e}"));
@@ -1335,7 +1430,8 @@ fn main() {
          strictly ahead); snapshot stores {:.2} B/arc compressed vs {:.2} full ({:.2}x \
          ratio), overlay at {:.1}% of the pair's bytes; query ladder peak {:.0} q/s \
          ({} exact / {} bounded / {} unknown, {} budget charged); suite {:.3}s vs {:.3}s \
-         single-thread, {:.3}s at {} threads ({:.2}x total)",
+         single-thread, {:.3}s at {} threads ({:.2}x total at the best config, {} steals, \
+         thread regression: {})",
         sssp_totals[0],
         sssp_totals[1],
         baseline.kernel_speedup,
@@ -1365,6 +1461,8 @@ fn main() {
         baseline.optimized_single_secs,
         baseline.multi_thread_secs,
         baseline.threads_multi,
-        baseline.total_speedup
+        baseline.total_speedup,
+        baseline.exec_steals,
+        baseline.thread_regression
     );
 }

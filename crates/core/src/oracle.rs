@@ -42,7 +42,7 @@ use cp_graph::rowpack::{
 use cp_graph::{CompressedCsr, Graph, GraphView, GraphViewRef, NodeId, OverlayGraph};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Number of pending rows below which a batched prefetch computes inline
 /// instead of spawning workers.
@@ -52,6 +52,24 @@ const PARALLEL_ROW_CUTOFF: usize = 8;
 /// borrows returned by [`SnapshotOracle::rows`] (one row per snapshot)
 /// stay resident for the duration of the call that produced them.
 const ROW_PIN_COUNT: usize = 2;
+
+/// Per-worker persistent scratch of the batched full-sweep pass: the BFS
+/// and multi-source-wave workspaces live across batches (and across
+/// oracles) in the executor's [`cp_exec::WorkerScratch`], so a steady
+/// stream of prefetches allocates nothing per batch.
+#[derive(Default)]
+struct PrefetchScratch {
+    ws: BfsWorkspace,
+    msws: MsBfsWorkspace,
+}
+
+/// Per-worker persistent scratch of the batched repair pass.
+#[derive(Default)]
+struct RepairScratch {
+    ws: BfsWorkspace,
+    rws: RepairWorkspace,
+    wide: Vec<u32>,
+}
 
 /// Emits a one-time (per knob, per process) stderr warning for an
 /// unparseable environment-knob value. Every knob falls back to a safe
@@ -66,25 +84,20 @@ pub(crate) fn warn_bad_knob(knob: &'static str, value: &str, fallback: &str) {
     }
 }
 
-/// Parses a `CP_THREADS` spelling: a positive integer.
+/// Parses a `CP_THREADS` spelling. Delegates to [`cp_exec::parse_threads`]:
+/// out-of-range values (`0`, or more than [`cp_exec::MAX_THREADS`]) are
+/// clamped with a one-time warning rather than rejected; only unparseable
+/// strings return `None`.
 pub fn parse_threads(s: &str) -> Option<usize> {
-    match s.trim().parse::<usize>() {
-        Ok(t) if t > 0 => Some(t),
-        _ => None,
-    }
+    cp_exec::parse_threads(s)
 }
 
-/// Worker threads for batched row computation: `CP_THREADS` when set to a
-/// positive integer, the capped hardware parallelism otherwise (with a
-/// one-time warning when the value is set but unparseable).
+/// Worker threads for batched row computation: `CP_THREADS` when set
+/// (clamped into `1..=`[`cp_exec::MAX_THREADS`]), the capped hardware
+/// parallelism otherwise (with a one-time warning when the value is set
+/// but unparseable). Delegates to [`cp_exec::threads_from_env`].
 pub fn threads_from_env() -> usize {
-    match std::env::var("CP_THREADS") {
-        Ok(s) => parse_threads(&s).unwrap_or_else(|| {
-            warn_bad_knob("CP_THREADS", &s, "hardware parallelism");
-            cp_graph::apsp::default_threads()
-        }),
-        Err(_) => cp_graph::apsp::default_threads(),
-    }
+    cp_exec::threads_from_env()
 }
 
 /// Which unweighted SSSP kernel the oracle runs.
@@ -890,6 +903,16 @@ pub struct SnapshotOracle<'a> {
     repair_frontier: u64,
     recomputed_rows: u64,
     chained_rows: u64,
+    /// The injected worker pool (callers that need isolated
+    /// [`cp_exec::ExecStats`], e.g. the conformance tests); `None` fans
+    /// batched passes out on the process-wide [`cp_exec::global`] pool.
+    exec: Option<Arc<cp_exec::Executor>>,
+    /// Reused result slots for the batched full-sweep pass — the slot
+    /// vector allocation is amortized across batches (satellite of the
+    /// executor PR: no per-item `Mutex`, one writer per slot).
+    item_slots: Vec<(ItemResult, f64)>,
+    /// Reused result slots for the batched repair pass.
+    repair_slots: Vec<(Vec<u32>, Option<usize>, f64)>,
 }
 
 impl<'a> SnapshotOracle<'a> {
@@ -951,6 +974,9 @@ impl<'a> SnapshotOracle<'a> {
             repair_frontier: 0,
             recomputed_rows: 0,
             chained_rows: 0,
+            exec: None,
+            item_slots: Vec::new(),
+            repair_slots: Vec::new(),
         };
         oracle.apply_store();
         oracle
@@ -1013,6 +1039,37 @@ impl<'a> SnapshotOracle<'a> {
     /// The configured worker-thread count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Injects a dedicated worker pool (builder style). Without one,
+    /// batched passes fan out on the process-wide [`cp_exec::global`]
+    /// pool. The pool only changes *where* work runs — rows, pairs, and
+    /// ledger are pool-invariant.
+    pub fn with_executor(mut self, exec: Arc<cp_exec::Executor>) -> Self {
+        self.set_executor(exec);
+        self
+    }
+
+    /// Injects a dedicated worker pool for batched passes.
+    pub fn set_executor(&mut self, exec: Arc<cp_exec::Executor>) {
+        self.exec = Some(exec);
+    }
+
+    /// A snapshot of the cumulative counters of the pool this oracle
+    /// fans out on (the injected executor, or the global pool). Stats
+    /// are advisory wall-clock instrumentation — they are excluded from
+    /// the bit-identical output contract.
+    pub fn exec_stats(&self) -> cp_exec::ExecStats {
+        self.executor().stats()
+    }
+
+    /// The worker pool batched passes fan out on: the injected executor,
+    /// or the process-wide [`cp_exec::global`] pool.
+    pub(crate) fn executor(&self) -> &cp_exec::Executor {
+        match self.exec.as_deref() {
+            Some(e) => e,
+            None => cp_exec::global(),
+        }
     }
 
     /// Sets the unweighted SSSP kernel (builder style). Kernel choice
@@ -2073,47 +2130,51 @@ impl<'a> SnapshotOracle<'a> {
             }
             return;
         }
+        // Pre-sized one-writer-per-slot results (no per-item locking);
+        // the slot vector itself is reused across batches. The fan-out
+        // runs on the persistent pool — workers are woken, not spawned.
+        let mut slots = std::mem::take(&mut self.item_slots);
+        slots.clear();
+        slots.resize_with(items.len(), || (ItemResult::default(), 0.0));
         let (v1, v2) = (
             self.view_of(Snapshot::First),
             self.view_of(Snapshot::Second),
         );
         let kernel = self.kernel;
-        type ItemSlot = parking_lot::Mutex<(ItemResult, f64)>;
-        let slots: Vec<ItemSlot> = (0..items.len())
-            .map(|_| parking_lot::Mutex::new((ItemResult::default(), 0.0)))
-            .collect();
-        let cursor = AtomicUsize::new(0);
-        crossbeam::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let mut ws = BfsWorkspace::new();
-                    let mut msws = MsBfsWorkspace::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let (which, idxs) = &items[i];
-                        let view = match which {
-                            Snapshot::First => v1,
-                            Snapshot::Second => v2,
-                        };
-                        let limit = limits.get(i).copied().unwrap_or(cp_graph::INF);
-                        let t_item = std::time::Instant::now();
-                        let res = compute_item(view, kernel, jobs, idxs, limit, &mut ws, &mut msws);
-                        *slots[i].lock() = (res, t_item.elapsed().as_secs_f64());
-                    }
-                });
-            }
-        })
-        .expect("prefetch worker panicked");
-        for (i, slot) in slots.into_iter().enumerate() {
-            let (res, secs) = slot.into_inner();
+        let exec = self.exec.clone();
+        let exec: &cp_exec::Executor = match exec.as_deref() {
+            Some(e) => e,
+            None => cp_exec::global(),
+        };
+        exec.run(&mut slots, threads, |i, slot, ctx| {
+            let scratch = ctx.scratch.get_or(PrefetchScratch::default);
+            let (which, idxs) = &items[i];
+            let view = match which {
+                Snapshot::First => v1,
+                Snapshot::Second => v2,
+            };
+            let limit = limits.get(i).copied().unwrap_or(cp_graph::INF);
+            let t_item = std::time::Instant::now();
+            let res = compute_item(
+                view,
+                kernel,
+                jobs,
+                idxs,
+                limit,
+                &mut scratch.ws,
+                &mut scratch.msws,
+            );
+            *slot = (res, t_item.elapsed().as_secs_f64());
+        });
+        // Merge strictly in item (admission) order, after the batch —
+        // identical at any thread count.
+        for (i, (res, secs)) in slots.drain(..).enumerate() {
             if items[i].0 == Snapshot::Second {
                 self.sssp_t2_secs += secs;
             }
             self.merge_item(jobs, res);
         }
+        self.item_slots = slots;
     }
 
     /// The repair pass of a batch: every job is a `t2` row whose donor was
@@ -2127,6 +2188,9 @@ impl<'a> SnapshotOracle<'a> {
         }
         let started = std::time::Instant::now();
         let weighted = self.g2.is_weighted();
+        let mut slots = std::mem::take(&mut self.repair_slots);
+        slots.clear();
+        let exec = self.exec.clone();
         let SnapshotOracle {
             g1,
             g2,
@@ -2158,52 +2222,36 @@ impl<'a> SnapshotOracle<'a> {
         );
         let kernel = *kernel;
         let threads = (*threads).min(jobs.len()).max(1);
-        let computed: Vec<(Vec<u32>, Option<usize>, f64)> =
-            if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
-                let mut wide = Vec::new();
-                jobs.iter()
-                    .zip(&donors)
-                    .map(|(&(_, u), &donor)| {
-                        repair_item(view2, kernel, NodeId(u), donor, delta, ws, rws, &mut wide)
-                    })
-                    .collect()
-            } else {
-                type RepairSlot = parking_lot::Mutex<(Vec<u32>, Option<usize>, f64)>;
-                let slots: Vec<RepairSlot> = (0..jobs.len())
-                    .map(|_| parking_lot::Mutex::new((Vec::new(), None, 0.0)))
-                    .collect();
-                let cursor = AtomicUsize::new(0);
-                let donors = &donors;
-                crossbeam::thread::scope(|scope| {
-                    for _ in 0..threads {
-                        scope.spawn(|_| {
-                            let mut ws = BfsWorkspace::new();
-                            let mut rws = RepairWorkspace::new();
-                            let mut wide = Vec::new();
-                            loop {
-                                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                                if i >= jobs.len() {
-                                    break;
-                                }
-                                *slots[i].lock() = repair_item(
-                                    view2,
-                                    kernel,
-                                    NodeId(jobs[i].1),
-                                    donors[i],
-                                    delta,
-                                    &mut ws,
-                                    &mut rws,
-                                    &mut wide,
-                                );
-                            }
-                        });
-                    }
-                })
-                .expect("repair worker panicked");
-                slots.into_iter().map(|s| s.into_inner()).collect()
+        if threads == 1 || jobs.len() < PARALLEL_ROW_CUTOFF {
+            let mut wide = Vec::new();
+            slots.extend(jobs.iter().zip(&donors).map(|(&(_, u), &donor)| {
+                repair_item(view2, kernel, NodeId(u), donor, delta, ws, rws, &mut wide)
+            }));
+        } else {
+            // Pre-sized one-writer-per-slot results on the persistent
+            // pool; the slot vector is reused across batches.
+            slots.resize_with(jobs.len(), Default::default);
+            let exec: &cp_exec::Executor = match exec.as_deref() {
+                Some(e) => e,
+                None => cp_exec::global(),
             };
+            let donors = &donors;
+            exec.run(&mut slots, threads, |i, slot, ctx| {
+                let RepairScratch { ws, rws, wide } = ctx.scratch.get_or(RepairScratch::default);
+                *slot = repair_item(
+                    view2,
+                    kernel,
+                    NodeId(jobs[i].1),
+                    donors[i],
+                    delta,
+                    ws,
+                    rws,
+                    wide,
+                );
+            });
+        }
         drop(donors);
-        for (i, (dist, settled, secs)) in computed.into_iter().enumerate() {
+        for (i, (dist, settled, secs)) in slots.drain(..).enumerate() {
             let u = NodeId(jobs[i].1);
             self.sssp_t2_secs += secs;
             match settled {
@@ -2222,6 +2270,7 @@ impl<'a> SnapshotOracle<'a> {
             }
             self.cache.insert(Snapshot::Second, u, dist);
         }
+        self.repair_slots = slots;
         self.sssp_secs += started.elapsed().as_secs_f64();
     }
 
@@ -2470,7 +2519,10 @@ mod tests {
     fn knob_parsers_accept_canonical_spellings() {
         assert_eq!(parse_threads("4"), Some(4));
         assert_eq!(parse_threads(" 16 "), Some(16));
-        assert_eq!(parse_threads("0"), None);
+        // Out-of-range values clamp (with a one-time warning) instead of
+        // silently falling back to hardware parallelism.
+        assert_eq!(parse_threads("0"), Some(1));
+        assert_eq!(parse_threads("9999"), Some(cp_exec::MAX_THREADS));
         assert_eq!(parse_threads(""), None);
         assert_eq!(parse_threads("four"), None);
         assert_eq!(parse_threads("-2"), None);

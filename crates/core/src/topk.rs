@@ -23,7 +23,7 @@ use cp_graph::{distance_decrease, Graph, NodeId};
 use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::time::Instant;
 
 /// Candidate count below which the Δ scan runs inline instead of spawning
@@ -116,6 +116,13 @@ pub struct PipelineStats {
     /// Heap bytes of the graph structures the kernels traversed, split by
     /// store role (base CSR / overlay extras / compressed adjacency).
     pub graph_mem: GraphMemStats,
+    /// Persistent-executor activity attributed to this run (batches,
+    /// tasks, steals, park/unpark events as deltas over the run;
+    /// `workers_spawned` is the pool's absolute size). Advisory
+    /// instrumentation — on the shared global pool, concurrent users
+    /// bleed into the deltas, so these are excluded from the
+    /// bit-identical output contract.
+    pub exec: cp_exec::ExecStats,
 }
 
 /// Output of a budgeted run.
@@ -161,6 +168,7 @@ pub fn run_pipeline(
     selector: &mut dyn CandidateSelector,
     spec: &TopKSpec,
 ) -> BudgetedResult {
+    let exec_before = oracle.exec_stats();
     let t_select = Instant::now();
     let ranked = selector.rank(oracle);
     let selector_secs = t_select.elapsed().as_secs_f64();
@@ -236,6 +244,7 @@ pub fn run_pipeline(
             chained_rows: oracle.chained_rows(),
             graph_store: oracle.graph_store(),
             graph_mem: oracle.graph_mem_stats(),
+            exec: oracle.exec_stats().since(&exec_before),
         },
     }
 }
@@ -357,11 +366,14 @@ fn pairs_from_candidates(
 /// may have been evicted, in which case each worker recomputes them into
 /// its own [`RowScratch`] — same bits, no charge, no shared mutation.
 ///
-/// No locks: workers claim candidates off an atomic cursor, append into a
-/// private flat buffer (one allocation per worker, not per candidate) and
-/// record `(candidate, start, end)` ranges; the ranges are placed in
-/// candidate order after the scope joins. The merged output is identical
-/// to a sequential scan at any thread count.
+/// No locks: the executor hands each worker contiguous candidate ranges
+/// (stealing half of the largest remaining range when it runs dry); each
+/// appends into a private flat buffer kept in its persistent
+/// [`cp_exec::WorkerScratch`] (no allocation per candidate — and across
+/// batches, none per batch either) and writes its `(worker, start, end)`
+/// range into the candidate's pre-sized slot. Slots are merged in
+/// candidate order after the batch, so the output is identical to a
+/// sequential scan at any thread count.
 fn scan_candidate_rows(
     oracle: &SnapshotOracle<'_>,
     candidates: &[NodeId],
@@ -381,130 +393,141 @@ fn scan_candidate_rows(
         _ => None,
     };
 
-    // One worker's output: its flat pair buffer, the (candidate, start)
-    // offsets of each claimed candidate's run within it, and its scan
-    // counters.
-    type WorkerScan = (Vec<ConvergingPair>, Vec<(usize, usize)>, ScanCounters);
-
-    // One worker's whole run: claims candidates off `cursor`, appends
-    // into its flat `out`, records per-candidate ranges. `heap` is the
-    // worker-local min-heap of its k largest emitted Δs — every emitted
-    // pair is globally distinct (the `v ∈ M, v < u` skip), so a full
-    // heap's minimum is a valid global floor.
-    let worker = |cursor: &AtomicUsize| -> WorkerScan {
-        let mut scratch = RowScratch::new();
-        let mut out: Vec<ConvergingPair> = Vec::new();
-        let mut ranges: Vec<(usize, usize)> = Vec::new();
-        let mut counters = ScanCounters::default();
-        let mut heap: BinaryHeap<Reverse<u32>> = BinaryHeap::new();
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= candidates.len() {
-                break;
-            }
-            let u = candidates[i];
-            let u_idx = u.index();
-            let start = out.len();
-            // A pre-filtered candidate's rows were never computed: every
-            // pair of its scan is certified below the initial floor, so
-            // its range is simply empty — reading the rows here would
-            // recompute them and undo the saving.
-            if prefiltered.contains(&u) {
-                ranges.push((i, start));
-                continue;
-            }
-            match kernel {
-                ScanKernel::Auto => {
-                    let (r1, r2) = oracle.read_rows_packed(u, &mut scratch);
-                    scan_delta_row(
-                        r1,
-                        r2,
-                        0,
-                        floor,
-                        observed_max,
-                        from_max_slack,
-                        &mut counters,
-                        &mut |v_idx, delta| {
-                            if v_idx == u_idx || (in_m[v_idx] && v_idx < u_idx) {
-                                return;
-                            }
-                            out.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
-                            let Some(k) = topk else { return };
-                            if heap.len() < k {
-                                heap.push(Reverse(delta));
-                            } else if delta > heap.peek().expect("nonempty").0 {
-                                heap.pop();
-                                heap.push(Reverse(delta));
-                            } else {
-                                return;
-                            }
-                            if heap.len() == k {
-                                floor
-                                    .fetch_max(heap.peek().expect("nonempty").0, Ordering::Relaxed);
-                            }
-                        },
-                    );
-                }
-                ScanKernel::Scalar => {
-                    // The reference per-element loop: no chunking, no
-                    // pruning — the pre-optimization behaviour, kept for
-                    // A/B runs and conformance tests.
-                    let (d1, d2) = oracle.read_rows(u, &mut scratch);
-                    for v_idx in 0..d1.len() {
-                        if v_idx == u_idx || (in_m[v_idx] && v_idx < u_idx) {
-                            continue;
-                        }
-                        let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
-                            continue;
-                        };
-                        if delta == 0 {
-                            continue;
-                        }
-                        observed_max.fetch_max(delta, Ordering::Relaxed);
-                        out.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
-                    }
-                }
-            }
-            ranges.push((i, start));
+    // One candidate's scan, appending its pairs to the worker's flat
+    // buffer. `heap` is the worker-local min-heap of its k largest
+    // emitted Δs — every emitted pair is globally distinct (the `v ∈ M,
+    // v < u` skip), so a full heap's minimum is a valid global floor.
+    let scan_one = |i: usize, s: &mut ScanScratch| {
+        let ScanScratch {
+            rows,
+            out,
+            counters,
+            heap,
+        } = s;
+        let u = candidates[i];
+        let u_idx = u.index();
+        // A pre-filtered candidate's rows were never computed: every
+        // pair of its scan is certified below the initial floor, so
+        // its range is simply empty — reading the rows here would
+        // recompute them and undo the saving.
+        if prefiltered.contains(&u) {
+            return;
         }
-        (out, ranges, counters)
+        match kernel {
+            ScanKernel::Auto => {
+                let (r1, r2) = oracle.read_rows_packed(u, rows);
+                scan_delta_row(
+                    r1,
+                    r2,
+                    0,
+                    floor,
+                    observed_max,
+                    from_max_slack,
+                    counters,
+                    &mut |v_idx, delta| {
+                        if v_idx == u_idx || (in_m[v_idx] && v_idx < u_idx) {
+                            return;
+                        }
+                        out.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
+                        let Some(k) = topk else { return };
+                        if heap.len() < k {
+                            heap.push(Reverse(delta));
+                        } else if delta > heap.peek().expect("nonempty").0 {
+                            heap.pop();
+                            heap.push(Reverse(delta));
+                        } else {
+                            return;
+                        }
+                        if heap.len() == k {
+                            floor.fetch_max(heap.peek().expect("nonempty").0, Ordering::Relaxed);
+                        }
+                    },
+                );
+            }
+            ScanKernel::Scalar => {
+                // The reference per-element loop: no chunking, no
+                // pruning — the pre-optimization behaviour, kept for
+                // A/B runs and conformance tests.
+                let (d1, d2) = oracle.read_rows(u, rows);
+                for v_idx in 0..d1.len() {
+                    if v_idx == u_idx || (in_m[v_idx] && v_idx < u_idx) {
+                        continue;
+                    }
+                    let Some(delta) = distance_decrease(d1[v_idx], d2[v_idx]) else {
+                        continue;
+                    };
+                    if delta == 0 {
+                        continue;
+                    }
+                    observed_max.fetch_max(delta, Ordering::Relaxed);
+                    out.push(ConvergingPair::new(u, NodeId::new(v_idx), delta));
+                }
+            }
+        }
     };
 
     let threads = oracle.threads().min(candidates.len()).max(1);
-    let cursor = AtomicUsize::new(0);
-    let results: Vec<WorkerScan> = if threads == 1 || candidates.len() < PARALLEL_SCAN_CUTOFF {
-        vec![worker(&cursor)]
-    } else {
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|_| worker(&cursor)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("scan worker panicked"))
-                .collect()
-        })
-        .expect("scan scope panicked")
-    };
-
-    // Place each worker's ranges in candidate order. Every candidate is
-    // claimed exactly once, so each slot is written exactly once.
+    // `slots[i] = (worker, start, end)`: candidate `i`'s pair run within
+    // worker `worker`'s flat buffer. Every task writes exactly its own
+    // slot; slots are read back in candidate order.
     let mut slots: Vec<(usize, usize, usize)> = vec![(usize::MAX, 0, 0); candidates.len()];
+    let mut outputs: Vec<Vec<ConvergingPair>> = Vec::new();
     let mut counters = ScanCounters::default();
-    for (w, (out, ranges, c)) in results.iter().enumerate() {
-        counters.absorb(c);
-        for (r, &(cand, start)) in ranges.iter().enumerate() {
-            let end = ranges.get(r + 1).map_or(out.len(), |&(_, next)| next);
-            slots[cand] = (w, start, end);
+    if threads == 1 || candidates.len() < PARALLEL_SCAN_CUTOFF {
+        let mut s = ScanScratch::default();
+        for (i, slot) in slots.iter_mut().enumerate() {
+            let start = s.out.len();
+            scan_one(i, &mut s);
+            *slot = (0, start, s.out.len());
         }
+        counters.absorb(&s.counters);
+        outputs.push(s.out);
+    } else {
+        outputs.resize_with(threads, Vec::new);
+        oracle.executor().run_collect(
+            &mut slots,
+            threads,
+            |i, slot, ctx| {
+                let w = ctx.index();
+                let s = ctx.scratch.get_or(ScanScratch::default);
+                let start = s.out.len();
+                scan_one(i, s);
+                *slot = (w, start, s.out.len());
+            },
+            |w, scratch| {
+                // Drain each participating worker's buffers while the
+                // batch still owns the pool: the pair runs move out, the
+                // floor heap and counters reset so the next batch (on
+                // this or any other oracle) starts clean.
+                if let Some(s) = scratch.get_if::<ScanScratch>() {
+                    counters.absorb(&s.counters);
+                    s.counters = ScanCounters::default();
+                    s.heap.clear();
+                    outputs[w] = std::mem::take(&mut s.out);
+                }
+            },
+        );
     }
+
     let total = slots.iter().map(|&(_, s, e)| e - s).sum();
     let mut all: Vec<ConvergingPair> = Vec::with_capacity(total);
     for &(w, start, end) in &slots {
         debug_assert_ne!(w, usize::MAX, "candidate never scanned");
-        all.extend_from_slice(&results[w].0[start..end]);
+        all.extend_from_slice(&outputs[w][start..end]);
     }
     (all, counters)
+}
+
+/// Per-worker persistent Δ-scan scratch, living across batches in the
+/// executor's [`cp_exec::WorkerScratch`]: the row-resolution buffers,
+/// the flat pair output, the scan counters and the top-k floor heap.
+/// The latter three are drained/reset at the end of every batch.
+#[derive(Default)]
+struct ScanScratch {
+    rows: RowScratch,
+    out: Vec<ConvergingPair>,
+    counters: ScanCounters,
+    heap: BinaryHeap<Reverse<u32>>,
 }
 
 #[cfg(test)]

@@ -9,9 +9,11 @@ use cp_core::exact::TopKSpec;
 use cp_core::oracle::{BfsKernel, RowCacheBudget, Snapshot, SnapshotOracle};
 use cp_core::selectors::SelectorKind;
 use cp_core::topk::{run_pipeline, BudgetedResult};
+use cp_exec::Executor;
 use cp_graph::builder::graph_from_edges;
 use cp_graph::{Graph, GraphBuilder, NodeId};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A generated case: node count, base edges, extra edges.
 type SnapshotPairCase = (usize, Vec<(u32, u32)>, Vec<(u32, u32)>);
@@ -151,6 +153,61 @@ proptest! {
                     auto.budget, scalar.budget,
                     "{} ledger diverges (auto, {} threads)", kind.name(), threads
                 );
+            }
+        }
+    }
+
+    /// Executor axis: a dedicated injected pool must reproduce the
+    /// global pool's output bit-for-bit, and a single pool must serve
+    /// several consecutive pipeline runs without respawning workers.
+    #[test]
+    fn pipeline_is_executor_invariant(
+        case in snapshot_pair(40),
+        m in 1u64..24,
+        seed in 0u64..8,
+    ) {
+        let (g1, g2) = build_graphs(&case);
+        let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+        for kind in [SelectorKind::Degree, SelectorKind::Mmsd { landmarks: 3 }] {
+            let baseline = run_with_threads(&g1, &g2, kind, m, &spec, seed, 1);
+            for threads in [2usize, 8] {
+                let pool = Arc::new(Executor::new(threads));
+                let mut spawned_after_first = None;
+                for round in 0..3 {
+                    let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 2 * m)
+                        .with_threads(threads)
+                        .with_executor(Arc::clone(&pool));
+                    let mut sel = kind.build(seed);
+                    let got = run_pipeline(&mut oracle, sel.as_mut(), &spec);
+                    prop_assert_eq!(
+                        &got.pairs, &baseline.pairs,
+                        "{} pairs diverge on a dedicated pool ({} threads, round {})",
+                        kind.name(), threads, round
+                    );
+                    prop_assert_eq!(
+                        &got.candidates, &baseline.candidates,
+                        "{} candidates diverge on a dedicated pool ({} threads, round {})",
+                        kind.name(), threads, round
+                    );
+                    prop_assert_eq!(
+                        got.budget, baseline.budget,
+                        "{} ledger diverges on a dedicated pool ({} threads, round {})",
+                        kind.name(), threads, round
+                    );
+                    let spawned = pool.stats().workers_spawned;
+                    prop_assert!(
+                        spawned < threads as u64,
+                        "the caller works a lane itself: at most {} pool workers, got {}",
+                        threads - 1, spawned
+                    );
+                    match spawned_after_first {
+                        None => spawned_after_first = Some(spawned),
+                        Some(first) => prop_assert_eq!(
+                            spawned, first,
+                            "pool respawned workers between identical runs"
+                        ),
+                    }
+                }
             }
         }
     }
@@ -310,4 +367,87 @@ fn weighted_snapshots_fall_back_to_dijkstra() {
     assert_eq!(ks.dijkstra_rows, 12);
     assert_eq!(ks.repair_rows, 12);
     assert_eq!(ks.dijkstra_rows + ks.repair_rows, auto.ledger().total());
+}
+
+/// Spawn-once across prefetch batches: one injected pool serves three
+/// consecutive wide prefetch fan-outs, `workers_spawned` settles after
+/// the first batch and never moves again, and every cached row matches
+/// a single-thread scalar oracle byte for byte.
+#[test]
+fn injected_pool_is_reused_across_prefetch_batches() {
+    let (g1, g2) = grid_snapshots();
+    let pool = Arc::new(Executor::new(4));
+    let mut scalar = SnapshotOracle::unbounded(&g1, &g2)
+        .with_kernel(BfsKernel::Scalar)
+        .with_row_cache(RowCacheBudget::Unbounded);
+    let mut auto = SnapshotOracle::unbounded(&g1, &g2)
+        .with_kernel(BfsKernel::Auto)
+        .with_row_cache(RowCacheBudget::Unbounded)
+        .with_threads(4)
+        .with_executor(Arc::clone(&pool));
+    // Three disjoint 20-node batches, each wide enough to cross
+    // PARALLEL_ROW_CUTOFF and fan out on the pool.
+    let mut spawned_after_first = 0;
+    for batch in 0..3u32 {
+        let nodes: Vec<NodeId> = (batch * 20..(batch + 1) * 20).map(NodeId).collect();
+        let rs = scalar.prefetch_node_rows(&nodes);
+        let ra = auto.prefetch_node_rows(&nodes);
+        assert_eq!(rs, ra, "batch {batch}: prefetch reports diverge");
+        for &u in &nodes {
+            for which in [Snapshot::First, Snapshot::Second] {
+                assert_eq!(
+                    scalar.cached_row(which, u),
+                    auto.cached_row(which, u),
+                    "batch {batch}: row of {u} diverges in {which:?}"
+                );
+            }
+        }
+        let stats = pool.stats();
+        assert!(
+            stats.workers_spawned < 4,
+            "the caller works a lane itself: at most 3 pool workers"
+        );
+        if batch == 0 {
+            spawned_after_first = stats.workers_spawned;
+        } else {
+            assert_eq!(
+                stats.workers_spawned, spawned_after_first,
+                "batch {batch}: the pool respawned workers"
+            );
+        }
+        assert!(stats.batches_run >= u64::from(batch) + 1);
+    }
+    assert_eq!(scalar.ledger(), auto.ledger());
+}
+
+/// A panicking task must poison only its batch: the panic re-throws on
+/// the submitter (loudly, not as a deadlock or a silent wrong answer)
+/// and the same pool then serves a full pipeline correctly.
+#[test]
+fn pool_survives_a_panicking_batch() {
+    let pool = Arc::new(Executor::new(4));
+    let mut slots = vec![0u32; 64];
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        pool.run(&mut slots, 4, |i, _slot, _ctx| {
+            if i == 17 {
+                panic!("injected task failure");
+            }
+        });
+    }));
+    assert!(caught.is_err(), "the task panic must re-throw, not vanish");
+
+    let (g1, g2) = grid_snapshots();
+    let spec = TopKSpec::ThresholdFromMax { slack: 1 };
+    let baseline = run_with_threads(&g1, &g2, SelectorKind::Degree, 12, &spec, 3, 1);
+    let mut oracle = SnapshotOracle::with_budget(&g1, &g2, 24)
+        .with_threads(4)
+        .with_executor(Arc::clone(&pool));
+    let mut sel = SelectorKind::Degree.build(3);
+    let got = run_pipeline(&mut oracle, sel.as_mut(), &spec);
+    assert_eq!(got.pairs, baseline.pairs, "pairs diverge after a panic");
+    assert_eq!(
+        got.candidates, baseline.candidates,
+        "candidates diverge after a panic"
+    );
+    assert_eq!(got.budget, baseline.budget, "ledger diverges after a panic");
 }

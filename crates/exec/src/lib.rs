@@ -1,0 +1,1063 @@
+//! Persistent work-stealing executor for the converging-pairs workspace.
+//!
+//! Every parallel phase of the pipeline — batched SSSP prefetches, the
+//! `M × V` Δ-scan, all-pairs BFS, Brandes betweenness, the bench
+//! harness's reader ladder — used to spawn fresh OS threads per batch
+//! through a scoped-thread shim and allocate fresh workspaces for each
+//! of them. On batch-heavy workloads the spawn + allocation tax made
+//! threads a net *loss*. This crate replaces all of that with one
+//! [`Executor`]:
+//!
+//! * **Workers are spawned once, lazily,** up to the executor's
+//!   capacity, and *parked* on a condvar between batches. Submitting a
+//!   batch is a mutex + notify, not `N` `clone(2)` calls.
+//! * **The submitting thread participates.** [`Executor::run`] and
+//!   [`Executor::run_collect`] execute the highest lane on the caller
+//!   itself, so a width-`T` batch wakes only `T - 1` pool workers, a
+//!   width-1 batch wakes none, and tiny batches never trade a context
+//!   switch for their handful of tasks (the dominant cost on narrow
+//!   machines). Only [`Executor::run_with_driver`] keeps every lane in
+//!   the pool, because its caller overlaps the batch with its own work.
+//! * **Scheduling is contiguous ranges + steal-half.** The task index
+//!   space `0..n` is pre-split into one contiguous range per
+//!   participating worker (a packed `AtomicU64` of `next, end`); a
+//!   worker pops its own range from the front with a CAS and, when
+//!   empty, steals the upper half of the largest remaining victim
+//!   range. Admission order is therefore preserved *per slot* and the
+//!   caller merges results in task order — bit-identical output at any
+//!   width — while imbalanced task costs still spread across workers
+//!   (observable as [`ExecStats::exec_steals`]).
+//! * **Per-worker scratch persists across batches.** Each worker owns a
+//!   [`WorkerScratch`] typemap that call sites populate with whatever
+//!   reusable state they need (BFS workspaces, flat output buffers,
+//!   row-unpack scratch); it lives for the executor's lifetime, so the
+//!   per-batch workspace allocation disappears after warm-up.
+//! * **Results go into pre-sized slots.** [`Executor::run`] hands each
+//!   task index exclusive `&mut` access to its own slot of a
+//!   caller-provided slice — one writer per slot *by construction* —
+//!   so no per-item mutex is needed and the deterministic merge is a
+//!   plain in-order walk. The `unsafe` pointer plumbing that splits the
+//!   slice lives entirely inside this crate; callers stay
+//!   `forbid(unsafe_code)`.
+//!
+//! A panicking task poisons only its batch: remaining tasks are drained
+//! without running, participating workers clear their scratch (a
+//! half-updated workspace must never feed a later batch), the panic is
+//! re-thrown on the submitting thread, and the pool stays usable.
+//!
+//! [`global()`] returns the process-wide executor that the oracle,
+//! streaming engine, and graph kernels share by default; tests and
+//! harnesses that need isolated [`ExecStats`] create their own
+//! [`Executor`].
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use serde::{Deserialize, Serialize};
+use std::any::{Any, TypeId};
+use std::cell::Cell;
+use std::collections::{HashMap, HashSet};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::thread;
+
+// ---------------------------------------------------------------------------
+// Lock helpers: parking_lot-style poison-free locking over std primitives.
+// A poisoned lock means a worker panicked while holding it; the executor's
+// own invariants (scratch cleared on poisoned batches, accounting done
+// outside user code) keep the data safe to hand out.
+// ---------------------------------------------------------------------------
+
+fn lock<T: ?Sized>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+fn cv_wait<'a, T>(cv: &Condvar, g: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(g) {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CP_THREADS knob
+// ---------------------------------------------------------------------------
+
+/// Hard ceiling on worker threads; `CP_THREADS` values above it are
+/// clamped (with a one-time warning) rather than honored.
+pub const MAX_THREADS: usize = 1024;
+
+/// Default thread counts cap at this many workers even on wider
+/// machines (beyond it the pipeline's batches are too small to feed).
+pub const MAX_DEFAULT_THREADS: usize = 16;
+
+fn warn_once(key: &str, message: String) {
+    static WARNED: OnceLock<Mutex<HashSet<String>>> = OnceLock::new();
+    let warned = WARNED.get_or_init(|| Mutex::new(HashSet::new()));
+    if lock(warned).insert(key.to_string()) {
+        eprintln!("{message}");
+    }
+}
+
+/// The default worker-thread count: available parallelism capped at
+/// [`MAX_DEFAULT_THREADS`].
+pub fn default_threads() -> usize {
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_DEFAULT_THREADS)
+}
+
+/// Parses a `CP_THREADS` value. Out-of-range values are *clamped* with
+/// a one-time stderr warning — `0` to `1` (a pipeline cannot run on
+/// zero workers) and anything above [`MAX_THREADS`] down to it — so a
+/// mistyped knob degrades gracefully instead of pinning a nonsense
+/// configuration. Returns `None` only for unparseable input (the
+/// caller warns and falls back to [`default_threads`]).
+pub fn parse_threads(s: &str) -> Option<usize> {
+    let t: usize = s.trim().parse().ok()?;
+    if t == 0 {
+        warn_once(
+            "CP_THREADS:zero",
+            format!("warning: CP_THREADS={s:?} out of range; clamping to 1"),
+        );
+        Some(1)
+    } else if t > MAX_THREADS {
+        warn_once(
+            "CP_THREADS:huge",
+            format!("warning: CP_THREADS={s:?} out of range; clamping to {MAX_THREADS}"),
+        );
+        Some(MAX_THREADS)
+    } else {
+        Some(t)
+    }
+}
+
+/// The worker-thread count from the environment: `CP_THREADS` if set
+/// (clamped per [`parse_threads`]; unparseable values warn once and
+/// fall back), else [`default_threads`].
+pub fn threads_from_env() -> usize {
+    match std::env::var("CP_THREADS") {
+        Ok(v) => parse_threads(&v).unwrap_or_else(|| {
+            let fallback = default_threads();
+            warn_once(
+                "CP_THREADS",
+                format!("warning: unparseable CP_THREADS={v:?}; falling back to {fallback}"),
+            );
+            fallback
+        }),
+        Err(_) => default_threads(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-worker scratch
+// ---------------------------------------------------------------------------
+
+/// A typemap of reusable per-worker state, persistent across batches.
+///
+/// Call sites key their scratch by type — typically one struct per call
+/// site bundling everything that site reuses (a BFS workspace plus a
+/// distance buffer, a flat output vector plus counters, …) — and fetch
+/// it with [`WorkerScratch::get_or`], which lazily initializes on first
+/// use. Entries live until the executor is dropped or a panicked batch
+/// forces a defensive [`clear`](WorkerScratch::clear).
+#[derive(Default)]
+pub struct WorkerScratch {
+    map: HashMap<TypeId, Box<dyn Any + Send>>,
+}
+
+impl WorkerScratch {
+    /// Returns the scratch entry of type `T`, creating it with `init`
+    /// on first use.
+    pub fn get_or<T: Any + Send>(&mut self, init: impl FnOnce() -> T) -> &mut T {
+        self.map
+            .entry(TypeId::of::<T>())
+            .or_insert_with(|| Box::new(init()))
+            .downcast_mut::<T>()
+            .expect("scratch typemap entry matches its TypeId")
+    }
+
+    /// Returns the scratch entry of type `T` if one exists.
+    pub fn get_if<T: Any + Send>(&mut self) -> Option<&mut T> {
+        self.map
+            .get_mut(&TypeId::of::<T>())
+            .and_then(|b| b.downcast_mut::<T>())
+    }
+
+    /// Drops every entry. Used defensively after a panicked batch: a
+    /// half-updated workspace must never feed a later computation.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// The per-task context handed to worker closures: the worker's index
+/// (stable for the executor's lifetime) and its persistent scratch.
+pub struct WorkerCtx<'a> {
+    index: usize,
+    /// The worker's persistent scratch typemap.
+    pub scratch: &'a mut WorkerScratch,
+}
+
+impl WorkerCtx<'_> {
+    /// The executing worker's index in `0..width`. Output placed in
+    /// per-worker buffers can be tagged with it and collected in worker
+    /// order for a deterministic merge.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ExecStats
+// ---------------------------------------------------------------------------
+
+/// Cumulative executor counters, readable at any time via
+/// [`Executor::stats`].
+///
+/// All fields except `workers_spawned` are monotone event counts over
+/// the executor's lifetime; [`ExecStats::since`] turns two readings
+/// into a per-run delta. `workers_spawned` is the pool's *size* (total
+/// workers ever spawned — workers never exit before the executor
+/// drops), which is exactly the number that must stay constant across
+/// batches for the spawn-once contract to hold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExecStats {
+    /// Workers spawned over the executor's lifetime (= current pool
+    /// size). The submitting thread, which works the highest lane of
+    /// every [`Executor::run`]/[`Executor::run_collect`] batch itself,
+    /// is not counted — a width-`T` batch needs only `T - 1` of these.
+    pub workers_spawned: u64,
+    /// Batches submitted and completed.
+    pub batches_run: u64,
+    /// Tasks actually executed (skipped tasks of a poisoned batch excluded).
+    pub tasks_executed: u64,
+    /// Successful steal-half operations between workers.
+    pub exec_steals: u64,
+    /// Times a worker blocked on the idle condvar.
+    pub parks: u64,
+    /// Times a worker woke from the idle condvar.
+    pub unparks: u64,
+}
+
+impl ExecStats {
+    /// The delta of the event counters since `earlier`, with
+    /// `workers_spawned` kept absolute (it is a size, not an event
+    /// count).
+    pub fn since(&self, earlier: &ExecStats) -> ExecStats {
+        ExecStats {
+            workers_spawned: self.workers_spawned,
+            batches_run: self.batches_run - earlier.batches_run,
+            tasks_executed: self.tasks_executed - earlier.tasks_executed,
+            exec_steals: self.exec_steals - earlier.exec_steals,
+            parks: self.parks - earlier.parks,
+            unparks: self.unparks - earlier.unparks,
+        }
+    }
+
+    /// Merges another reading into this one (summing event counters,
+    /// taking the max pool size) — used to aggregate per-rung deltas.
+    pub fn absorb(&mut self, other: &ExecStats) {
+        self.workers_spawned = self.workers_spawned.max(other.workers_spawned);
+        self.batches_run += other.batches_run;
+        self.tasks_executed += other.tasks_executed;
+        self.exec_steals += other.exec_steals;
+        self.parks += other.parks;
+        self.unparks += other.unparks;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch plumbing
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to the submitting call's stack data. Sound to
+/// share with workers because `submit` blocks until every task index
+/// has been claimed and accounted — the pointee outlives every
+/// dereference.
+#[derive(Clone, Copy)]
+struct SendPtr(*const ());
+
+// SAFETY: the pointee is a `CallData<S, F>` with `F: Sync` (only ever
+// borrowed shared) and `S: Send` (each index's slot is handed to
+// exactly one worker as `&mut`), and `submit` keeps it alive until the
+// batch completes.
+unsafe impl Send for SendPtr {}
+// SAFETY: see above — shared access is `&F` only.
+unsafe impl Sync for SendPtr {}
+
+type Thunk = unsafe fn(*const (), usize, &mut WorkerCtx<'_>);
+
+struct CallData<S, F> {
+    slots: *mut S,
+    f: F,
+}
+
+/// Monomorphized trampoline: recovers the typed call data and hands
+/// task `i` exclusive access to its slot.
+unsafe fn call_thunk<S, F>(data: *const (), i: usize, ctx: &mut WorkerCtx<'_>)
+where
+    F: Fn(usize, &mut S, &mut WorkerCtx<'_>) + Sync,
+{
+    // SAFETY: `data` points to the `CallData<S, F>` that `run_with_*`
+    // keeps alive on its stack until the batch completes.
+    let d = unsafe { &*(data as *const CallData<S, F>) };
+    // SAFETY: `i < n` (range discipline) and every index is claimed by
+    // exactly one worker, so this is the sole `&mut` to slot `i`.
+    let slot = unsafe { &mut *d.slots.add(i) };
+    (d.f)(i, slot, ctx);
+}
+
+fn pack(next: u32, end: u32) -> u64 {
+    (u64::from(next) << 32) | u64::from(end)
+}
+
+fn unpack(v: u64) -> (u32, u32) {
+    ((v >> 32) as u32, v as u32)
+}
+
+/// Pops the front of a `(next, end)` range with a CAS loop.
+fn pop_front(range: &AtomicU64) -> Option<usize> {
+    let mut cur = range.load(Ordering::SeqCst);
+    loop {
+        let (next, end) = unpack(cur);
+        if next >= end {
+            return None;
+        }
+        match range.compare_exchange_weak(
+            cur,
+            pack(next + 1, end),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => return Some(next as usize),
+            Err(observed) => cur = observed,
+        }
+    }
+}
+
+/// Steals the upper half (rounded up) of the largest remaining victim
+/// range. Returns the stolen `(start, end)` span.
+fn steal_half(ranges: &[AtomicU64], me: usize) -> Option<(u32, u32)> {
+    loop {
+        let mut best: Option<(usize, u64, u32)> = None;
+        for (victim, range) in ranges.iter().enumerate() {
+            if victim == me {
+                continue;
+            }
+            let observed = range.load(Ordering::SeqCst);
+            let (next, end) = unpack(observed);
+            let remaining = end.saturating_sub(next);
+            if remaining > 0 && best.is_none_or(|(_, _, r)| remaining > r) {
+                best = Some((victim, observed, remaining));
+            }
+        }
+        let (victim, observed, _) = best?;
+        let (next, end) = unpack(observed);
+        let mid = next + (end - next) / 2;
+        if ranges[victim]
+            .compare_exchange(
+                observed,
+                pack(next, mid),
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            )
+            .is_ok()
+        {
+            return Some((mid, end));
+        }
+        // Lost the race for this victim — rescan.
+    }
+}
+
+struct Batch {
+    /// One packed `(next, end)` range per participating worker slot.
+    ranges: Box<[AtomicU64]>,
+    /// Pool workers with `idx < pool_participants` join the batch. For
+    /// [`Executor::run`]/[`Executor::run_collect`] this is `width - 1`
+    /// — the submitting thread itself executes as the highest lane
+    /// (`width - 1`) instead of blocking, so a batch at `width` costs
+    /// `width - 1` wake-ups and small batches never pay a context
+    /// switch. [`Executor::run_with_driver`] keeps all `width` lanes in
+    /// the pool because the caller is busy running the driver.
+    pool_participants: usize,
+    n: usize,
+    completed: AtomicUsize,
+    done: AtomicBool,
+    poisoned: AtomicBool,
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    call: Thunk,
+    data: SendPtr,
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct ExecState {
+    batch: Option<Arc<Batch>>,
+    generation: u64,
+    spawned: usize,
+}
+
+struct Inner {
+    capacity: usize,
+    state: Mutex<ExecState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    /// Serializes batch submission: one batch in flight per executor.
+    submit: Mutex<()>,
+    /// Per-worker scratch, indexed by worker id. Workers hold their own
+    /// entry locked for the duration of a batch; callers visit between
+    /// batches (under the submit lock) for pre-clear / post-collect.
+    scratches: Mutex<Vec<Arc<Mutex<WorkerScratch>>>>,
+    shutdown: AtomicBool,
+    workers_spawned: AtomicU64,
+    batches_run: AtomicU64,
+    tasks_executed: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    unparks: AtomicU64,
+}
+
+thread_local! {
+    /// Set inside executor worker threads: a nested `run` from task
+    /// code executes inline instead of deadlocking on the pool.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// The `Inner` address this thread is currently submitting to, if
+    /// any: a reentrant `run` from a driver closure executes inline
+    /// instead of deadlocking on the submit lock.
+    static SUBMITTING_TO: Cell<usize> = const { Cell::new(0) };
+}
+
+fn worker_main(inner: Arc<Inner>, idx: usize, scratch: Arc<Mutex<WorkerScratch>>) {
+    IN_WORKER.with(|c| c.set(true));
+    let mut last_gen = 0u64;
+    loop {
+        let batch = {
+            let mut st = lock(&inner.state);
+            loop {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                if st.generation != last_gen {
+                    last_gen = st.generation;
+                    break st.batch.clone();
+                }
+                inner.parks.fetch_add(1, Ordering::Relaxed);
+                st = cv_wait(&inner.work_cv, st);
+                inner.unparks.fetch_add(1, Ordering::Relaxed);
+            }
+        };
+        if let Some(batch) = batch {
+            if idx < batch.pool_participants {
+                run_batch(&inner, &batch, idx, &scratch);
+            }
+        }
+    }
+}
+
+fn run_batch(inner: &Inner, batch: &Batch, slot: usize, scratch: &Mutex<WorkerScratch>) {
+    let mut guard = lock(scratch);
+    let mut ctx = WorkerCtx {
+        index: slot,
+        scratch: &mut guard,
+    };
+    let mut executed = 0u64;
+    let mut steals = 0u64;
+    loop {
+        let i = match pop_front(&batch.ranges[slot]) {
+            Some(i) => i,
+            None => match steal_half(&batch.ranges, slot) {
+                Some((lo, hi)) => {
+                    steals += 1;
+                    // Install the stolen span (minus the task we take
+                    // now) as our own range; other thieves may steal
+                    // from it in turn.
+                    batch.ranges[slot].store(pack(lo + 1, hi), Ordering::SeqCst);
+                    lo as usize
+                }
+                None => break,
+            },
+        };
+        if !batch.poisoned.load(Ordering::SeqCst) {
+            let call = batch.call;
+            let data = batch.data;
+            // AssertUnwindSafe: on panic the batch is poisoned (its
+            // outputs are discarded by the re-thrown panic) and this
+            // worker's scratch is cleared below, so no broken state is
+            // observed by later batches.
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                // SAFETY: `data` outlives the batch and `i` is a
+                // uniquely claimed index — see `call_thunk`.
+                unsafe { (call)(data.0, i, &mut ctx) }
+            }));
+            match result {
+                Ok(()) => executed += 1,
+                Err(payload) => {
+                    let mut slot_p = lock(&batch.panic);
+                    if slot_p.is_none() {
+                        *slot_p = Some(payload);
+                    }
+                    batch.poisoned.store(true, Ordering::SeqCst);
+                }
+            }
+        }
+        // Account the task even when skipped on a poisoned batch, so
+        // the batch always drains and the submitter never deadlocks.
+        if batch.completed.fetch_add(1, Ordering::SeqCst) + 1 == batch.n {
+            let _st = lock(&inner.state);
+            batch.done.store(true, Ordering::SeqCst);
+            inner.done_cv.notify_all();
+        }
+    }
+    if batch.poisoned.load(Ordering::SeqCst) {
+        ctx.scratch.clear();
+    }
+    drop(guard);
+    inner.tasks_executed.fetch_add(executed, Ordering::Relaxed);
+    inner.steals.fetch_add(steals, Ordering::Relaxed);
+}
+
+/// A persistent pool of parked worker threads executing slot-based
+/// task batches. See the crate docs for the design; [`global()`] is the
+/// shared process-wide instance.
+pub struct Executor {
+    inner: Arc<Inner>,
+}
+
+/// RAII reset for the `SUBMITTING_TO` reentrancy marker.
+struct SubmitMark(usize);
+
+impl SubmitMark {
+    fn set(inner: &Arc<Inner>) -> Self {
+        let prev = SUBMITTING_TO.with(|c| c.replace(Arc::as_ptr(inner) as usize));
+        SubmitMark(prev)
+    }
+}
+
+impl Drop for SubmitMark {
+    fn drop(&mut self) {
+        SUBMITTING_TO.with(|c| c.set(self.0));
+    }
+}
+
+impl Executor {
+    /// Creates an executor that will lazily spawn up to
+    /// `capacity` workers (clamped to `1..=`[`MAX_THREADS`]). No thread
+    /// is spawned until the first batch that needs it.
+    pub fn new(capacity: usize) -> Self {
+        Executor {
+            inner: Arc::new(Inner {
+                capacity: capacity.clamp(1, MAX_THREADS),
+                state: Mutex::new(ExecState {
+                    batch: None,
+                    generation: 0,
+                    spawned: 0,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                submit: Mutex::new(()),
+                scratches: Mutex::new(Vec::new()),
+                shutdown: AtomicBool::new(false),
+                workers_spawned: AtomicU64::new(0),
+                batches_run: AtomicU64::new(0),
+                tasks_executed: AtomicU64::new(0),
+                steals: AtomicU64::new(0),
+                parks: AtomicU64::new(0),
+                unparks: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// The maximum number of workers this executor will spawn.
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// A snapshot of the cumulative executor counters.
+    pub fn stats(&self) -> ExecStats {
+        ExecStats {
+            workers_spawned: self.inner.workers_spawned.load(Ordering::Relaxed),
+            batches_run: self.inner.batches_run.load(Ordering::Relaxed),
+            tasks_executed: self.inner.tasks_executed.load(Ordering::Relaxed),
+            exec_steals: self.inner.steals.load(Ordering::Relaxed),
+            parks: self.inner.parks.load(Ordering::Relaxed),
+            unparks: self.inner.unparks.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Runs `f(i, &mut slots[i], ctx)` for every `i in 0..slots.len()`
+    /// across `width` lanes — the calling thread itself plus up to
+    /// `width - 1` pooled workers — blocking until the batch completes.
+    /// The caller executes as the highest lane (`ctx.index() ==
+    /// width - 1`), so a `width == 1` submission runs entirely on the
+    /// calling thread (while still using the pool's persistent lane
+    /// scratch) and small batches never pay a wake-up/context-switch
+    /// round trip. Each task has exclusive access to its own slot; the
+    /// caller reads the slots back in index order for a deterministic
+    /// merge. A task panic is re-thrown here after the batch drains.
+    pub fn run<S, F>(&self, slots: &mut [S], width: usize, f: F)
+    where
+        S: Send,
+        F: Fn(usize, &mut S, &mut WorkerCtx<'_>) + Sync,
+    {
+        self.run_impl(slots, width, f, || (), None::<&mut CollectFn<'_>>, true);
+    }
+
+    /// Like [`run`](Self::run), but executes `driver` on the calling
+    /// thread *concurrently* with the batch, then blocks until the
+    /// batch completes. Because the caller is busy driving, all `width`
+    /// lanes run on pooled workers here. Used when the submitting
+    /// thread has its own work to overlap (e.g. replaying reviews while
+    /// reader tasks hammer published epochs). `driver` must not wait on
+    /// task progress through anything but shared atomics, and must not
+    /// submit to this same executor (a reentrant submission falls back
+    /// to inline execution *after* the driver returns).
+    pub fn run_with_driver<S, F, D, R>(&self, slots: &mut [S], width: usize, f: F, driver: D) -> R
+    where
+        S: Send,
+        F: Fn(usize, &mut S, &mut WorkerCtx<'_>) + Sync,
+        D: FnOnce() -> R,
+    {
+        self.run_impl(slots, width, f, driver, None::<&mut CollectFn<'_>>, false)
+    }
+
+    /// Like [`run`](Self::run), but after the batch completes — still
+    /// under the executor's submission lock, so no other batch can
+    /// interleave — calls `collect(w, scratch)` for every
+    /// participating worker slot `w in 0..width`, letting the caller
+    /// drain per-worker output buffers kept in [`WorkerScratch`].
+    pub fn run_collect<S, F>(
+        &self,
+        slots: &mut [S],
+        width: usize,
+        f: F,
+        mut collect: impl FnMut(usize, &mut WorkerScratch),
+    ) where
+        S: Send,
+        F: Fn(usize, &mut S, &mut WorkerCtx<'_>) + Sync,
+    {
+        let mut c: CollectFn<'_> = &mut collect;
+        self.run_impl(slots, width, f, || (), Some(&mut c), true);
+    }
+
+    fn run_impl<S, F, D, R>(
+        &self,
+        slots: &mut [S],
+        width: usize,
+        f: F,
+        driver: D,
+        collect: Option<&mut CollectFn<'_>>,
+        caller_helps: bool,
+    ) -> R
+    where
+        S: Send,
+        F: Fn(usize, &mut S, &mut WorkerCtx<'_>) + Sync,
+        D: FnOnce() -> R,
+    {
+        let n = slots.len();
+        if n == 0 {
+            return driver();
+        }
+        let nested = IN_WORKER.with(|c| c.get())
+            || SUBMITTING_TO.with(|c| c.get()) == Arc::as_ptr(&self.inner) as usize;
+        if nested {
+            return run_inline(slots, &f, driver, collect);
+        }
+        let width = width.clamp(1, self.inner.capacity).min(n);
+        let pool_participants = if caller_helps { width - 1 } else { width };
+
+        let data = CallData {
+            slots: slots.as_mut_ptr(),
+            f,
+        };
+        let data_ptr = &data as *const CallData<S, F> as *const ();
+
+        let submit_guard = lock(&self.inner.submit);
+        let _mark = SubmitMark::set(&self.inner);
+        self.spawn_up_to(pool_participants);
+        // The caller's lane scratch: lane `width - 1`'s pool worker (if
+        // one was ever spawned for a wider batch) sits this batch out,
+        // so the entry is exclusively ours for the duration.
+        let caller_scratch = caller_helps.then(|| self.ensure_scratch(width - 1));
+
+        let ranges: Box<[AtomicU64]> = (0..width)
+            .map(|k| AtomicU64::new(pack((k * n / width) as u32, ((k + 1) * n / width) as u32)))
+            .collect();
+        let batch = Arc::new(Batch {
+            ranges,
+            pool_participants,
+            n,
+            completed: AtomicUsize::new(0),
+            done: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
+            panic: Mutex::new(None),
+            call: call_thunk::<S, F>,
+            data: SendPtr(data_ptr),
+        });
+        {
+            let mut st = lock(&self.inner.state);
+            st.generation += 1;
+            st.batch = Some(batch.clone());
+        }
+        if pool_participants > 0 {
+            self.inner.work_cv.notify_all();
+        }
+
+        // The driver overlaps the batch. A driver panic must not
+        // propagate before the batch drains — workers still hold
+        // pointers into this stack frame.
+        let driver_result = panic::catch_unwind(AssertUnwindSafe(driver));
+
+        // The caller works its own lane (and steals) instead of
+        // blocking; task panics are captured into the batch and
+        // re-thrown below, never unwound out of here.
+        if let Some(scratch) = &caller_scratch {
+            run_batch(&self.inner, &batch, width - 1, scratch);
+        }
+
+        {
+            let mut st = lock(&self.inner.state);
+            while !batch.done.load(Ordering::SeqCst) {
+                st = cv_wait(&self.inner.done_cv, st);
+            }
+            st.batch = None;
+        }
+        self.inner.batches_run.fetch_add(1, Ordering::Relaxed);
+
+        let task_panic = lock(&batch.panic).take();
+        if task_panic.is_none() && driver_result.is_ok() {
+            if let Some(collect) = collect {
+                let scratches = lock(&self.inner.scratches);
+                for (w, scratch) in scratches.iter().enumerate().take(width) {
+                    collect(w, &mut lock(scratch));
+                }
+            }
+        }
+        drop(submit_guard);
+
+        match driver_result {
+            Ok(r) => {
+                if let Some(payload) = task_panic {
+                    panic::resume_unwind(payload);
+                }
+                r
+            }
+            Err(payload) => panic::resume_unwind(payload),
+        }
+    }
+
+    fn spawn_up_to(&self, width: usize) {
+        let mut st = lock(&self.inner.state);
+        while st.spawned < width {
+            let idx = st.spawned;
+            // Reuse the lane's scratch if the caller already created it
+            // while working this lane itself on a narrower batch.
+            let scratch = {
+                let mut s = lock(&self.inner.scratches);
+                match s.get(idx) {
+                    Some(existing) => Arc::clone(existing),
+                    None => {
+                        let fresh = Arc::new(Mutex::new(WorkerScratch::default()));
+                        s.push(Arc::clone(&fresh));
+                        fresh
+                    }
+                }
+            };
+            let inner = Arc::clone(&self.inner);
+            thread::Builder::new()
+                .name(format!("cp-exec-{idx}"))
+                .spawn(move || worker_main(inner, idx, scratch))
+                .expect("spawning an executor worker thread");
+            st.spawned += 1;
+            self.inner.workers_spawned.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Returns lane `idx`'s persistent scratch, creating empty entries
+    /// up to it if no pool worker has claimed the lane yet.
+    fn ensure_scratch(&self, idx: usize) -> Arc<Mutex<WorkerScratch>> {
+        let mut s = lock(&self.inner.scratches);
+        while s.len() <= idx {
+            s.push(Arc::new(Mutex::new(WorkerScratch::default())));
+        }
+        Arc::clone(&s[idx])
+    }
+}
+
+type CollectFn<'a> = &'a mut dyn FnMut(usize, &mut WorkerScratch);
+
+/// Inline fallback for nested/reentrant submissions: the driver runs
+/// first (it cannot overlap), then every task on the calling thread
+/// with a throwaway scratch.
+fn run_inline<S, F, D, R>(
+    slots: &mut [S],
+    f: &F,
+    driver: D,
+    collect: Option<&mut CollectFn<'_>>,
+) -> R
+where
+    F: Fn(usize, &mut S, &mut WorkerCtx<'_>) + Sync,
+    D: FnOnce() -> R,
+{
+    let r = driver();
+    let mut scratch = WorkerScratch::default();
+    let mut ctx = WorkerCtx {
+        index: 0,
+        scratch: &mut scratch,
+    };
+    for (i, slot) in slots.iter_mut().enumerate() {
+        f(i, slot, &mut ctx);
+    }
+    if let Some(collect) = collect {
+        collect(0, &mut scratch);
+    }
+    r
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        // Wake every parked worker so it observes the shutdown flag.
+        // Workers are detached; they exit promptly and hold no caller
+        // state once the last batch has drained (guaranteed: `run`
+        // blocks until completion).
+        let _st = lock(&self.inner.state);
+        self.inner.work_cv.notify_all();
+    }
+}
+
+/// The process-wide shared executor. Oracles, the streaming engine,
+/// and the graph kernels submit here by default; per-call `width`
+/// clamps parallelism, so a shared pool never changes results. Sized
+/// at [`MAX_THREADS`] capacity but spawns lazily — a process that runs
+/// everything at `threads = 4` only ever spawns 4 workers.
+pub fn global() -> &'static Executor {
+    static GLOBAL: OnceLock<Executor> = OnceLock::new();
+    GLOBAL.get_or_init(|| Executor::new(MAX_THREADS))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slots_match_sequential_at_any_width() {
+        let exec = Executor::new(8);
+        for width in [1, 2, 3, 8] {
+            let mut slots = vec![0u64; 100];
+            exec.run(&mut slots, width, |i, slot, _ctx| {
+                *slot = (i as u64) * 3 + 1;
+            });
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(*s, (i as u64) * 3 + 1, "width {width}, slot {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn workers_spawn_once_and_park_between_batches() {
+        let exec = Executor::new(4);
+        let mut slots = vec![0u32; 64];
+        for _ in 0..5 {
+            exec.run(&mut slots, 4, |i, slot, _| *slot = i as u32);
+        }
+        let stats = exec.stats();
+        // The caller works lane 3 itself: only 3 pool workers exist.
+        assert_eq!(stats.workers_spawned, 3);
+        assert_eq!(stats.batches_run, 5);
+        assert_eq!(stats.tasks_executed, 5 * 64);
+        // Workers park between batches rather than exiting. The caller
+        // may finish a whole batch before a worker reaches the condvar
+        // (single-core boxes), so give them a moment.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while exec.stats().parks == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(exec.stats().parks > 0);
+    }
+
+    #[test]
+    fn blocked_range_is_stolen() {
+        // Width 2 over 4 tasks: pool worker 0 owns [0, 2), the caller
+        // (lane 1) owns [2, 4). Task 0 spins until task 1 runs — but
+        // worker 0 is stuck inside task 0, so only a steal by the
+        // caller lane can run task 1. The steal is therefore
+        // guaranteed, not probabilistic.
+        let exec = Executor::new(2);
+        let t1_ran = AtomicBool::new(false);
+        let mut slots = vec![0u8; 4];
+        exec.run(&mut slots, 2, |i, _slot, _ctx| match i {
+            0 => {
+                while !t1_ran.load(Ordering::SeqCst) {
+                    std::hint::spin_loop();
+                }
+            }
+            1 => t1_ran.store(true, Ordering::SeqCst),
+            _ => {}
+        });
+        assert!(exec.stats().exec_steals >= 1);
+    }
+
+    #[test]
+    fn scratch_persists_across_batches() {
+        let exec = Executor::new(2);
+        let mut slots = vec![0usize; 8];
+        for _round in 0..3 {
+            exec.run(&mut slots, 2, |_i, slot, ctx| {
+                let uses = ctx.scratch.get_or(|| 0usize);
+                *uses += 1;
+                *slot = *uses;
+            });
+        }
+        // After three rounds of 8 tasks over 2 workers, the per-worker
+        // counters sum to 24 — proof the entries survived the batches.
+        let mut total = 0usize;
+        exec.run_collect(
+            &mut [0u8; 2][..],
+            2,
+            |_i, _s, _ctx| {},
+            |_w, scratch| {
+                if let Some(uses) = scratch.get_if::<usize>() {
+                    total += *uses;
+                }
+            },
+        );
+        // The collect batch itself ran 2 more tasks without touching
+        // the counter.
+        assert_eq!(total, 24);
+    }
+
+    #[test]
+    fn panicking_task_poisons_only_its_batch() {
+        let exec = Executor::new(2);
+        let mut slots = vec![0u32; 16];
+        let caught = panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.run(&mut slots, 2, |i, _slot, _ctx| {
+                if i == 3 {
+                    panic!("task 3 exploded");
+                }
+            });
+        }));
+        assert!(
+            caught.is_err(),
+            "the task panic must re-throw on the caller"
+        );
+        // The pool survives and later batches run normally.
+        let mut slots = vec![0u32; 16];
+        exec.run(&mut slots, 2, |i, slot, _ctx| *slot = i as u32 + 7);
+        assert!(slots.iter().enumerate().all(|(i, s)| *s == i as u32 + 7));
+        assert_eq!(exec.stats().workers_spawned, 1);
+    }
+
+    #[test]
+    fn driver_overlaps_the_batch() {
+        let exec = Executor::new(2);
+        let stop = AtomicBool::new(false);
+        let spins = AtomicUsize::new(0);
+        let mut slots = vec![(); 2];
+        let driver_result = exec.run_with_driver(
+            &mut slots,
+            2,
+            |_i, _slot, _ctx| {
+                while !stop.load(Ordering::SeqCst) {
+                    spins.fetch_add(1, Ordering::Relaxed);
+                }
+            },
+            || {
+                // The tasks only terminate when the driver says so: if
+                // the driver did not overlap, this would deadlock.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                stop.store(true, Ordering::SeqCst);
+                42
+            },
+        );
+        assert_eq!(driver_result, 42);
+        assert!(spins.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn nested_run_from_a_task_executes_inline() {
+        let exec = Executor::new(2);
+        let mut slots = vec![0u32; 4];
+        exec.run(&mut slots, 2, |i, slot, _ctx| {
+            // Submitting to any executor from inside a worker must not
+            // deadlock — it runs inline.
+            let mut inner_slots = vec![0u32; 3];
+            global().run(&mut inner_slots, 2, |j, s, _| *s = j as u32);
+            *slot = i as u32 + inner_slots.iter().sum::<u32>();
+        });
+        for (i, s) in slots.iter().enumerate() {
+            assert_eq!(*s, i as u32 + 3);
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let exec = Executor::new(2);
+        let mut slots: Vec<u32> = Vec::new();
+        exec.run(&mut slots, 2, |_i, _s, _ctx| unreachable!());
+        assert_eq!(exec.stats().batches_run, 0);
+        assert_eq!(exec.stats().workers_spawned, 0);
+    }
+
+    #[test]
+    fn parse_threads_clamps_and_warns() {
+        assert_eq!(parse_threads("4"), Some(4));
+        assert_eq!(parse_threads(" 8 "), Some(8));
+        assert_eq!(parse_threads("0"), Some(1), "zero clamps to one worker");
+        assert_eq!(
+            parse_threads("4096"),
+            Some(MAX_THREADS),
+            "absurd counts clamp to MAX_THREADS"
+        );
+        assert_eq!(
+            parse_threads("1024"),
+            Some(1024),
+            "the ceiling itself is fine"
+        );
+        assert_eq!(parse_threads("abc"), None);
+        assert_eq!(parse_threads("-3"), None);
+        assert_eq!(parse_threads(""), None);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let d = default_threads();
+        assert!(d >= 1);
+        assert!(d <= MAX_DEFAULT_THREADS);
+    }
+
+    #[test]
+    fn stats_delta_keeps_pool_size_absolute() {
+        let a = ExecStats {
+            workers_spawned: 4,
+            batches_run: 10,
+            tasks_executed: 100,
+            exec_steals: 5,
+            parks: 20,
+            unparks: 18,
+        };
+        let b = ExecStats {
+            workers_spawned: 4,
+            batches_run: 13,
+            tasks_executed: 160,
+            exec_steals: 9,
+            parks: 26,
+            unparks: 25,
+        };
+        let d = b.since(&a);
+        assert_eq!(d.workers_spawned, 4);
+        assert_eq!(d.batches_run, 3);
+        assert_eq!(d.tasks_executed, 60);
+        assert_eq!(d.exec_steals, 4);
+        assert_eq!(d.parks, 6);
+        assert_eq!(d.unparks, 7);
+    }
+}

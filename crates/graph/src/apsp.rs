@@ -6,33 +6,56 @@
 //! gigabytes, so instead we *stream*: a callback receives each source's
 //! distance row and extracts whatever aggregate it needs.
 //!
-//! Work is distributed over OS threads with a shared atomic cursor
-//! (`crossbeam::scope` keeps the borrows tidy); each worker owns its BFS
-//! scratch buffers, so the only shared state is the cursor and whatever the
-//! caller's sink guards itself.
+//! Work fans out over the persistent [`cp_exec`] worker pool (spawned
+//! once per process, parked between batches); each worker keeps its BFS
+//! scratch buffers in its [`cp_exec::WorkerScratch`], so the only shared
+//! state is the executor's task ranges and whatever the caller's sink
+//! guards itself.
 
 use crate::bfs::{bfs_into, BfsWorkspace};
 use crate::dijkstra::dijkstra_into;
 use crate::graph::{Graph, NodeId};
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Cap on [`default_threads`]: BFS row streaming is memory-bound, so
 /// returns diminish well before high core counts, and an unbounded default
 /// oversubscribes shared machines.
-pub const MAX_DEFAULT_THREADS: usize = 16;
+pub const MAX_DEFAULT_THREADS: usize = cp_exec::MAX_DEFAULT_THREADS;
 
 /// Source count below which [`for_each_source`] (and the pairwise variant)
-/// runs on the calling thread without spawning workers.
+/// runs on the calling thread without waking pool workers.
 const INLINE_SOURCE_CUTOFF: usize = 32;
 
 /// Default number of worker threads: the available parallelism, capped at
 /// [`MAX_DEFAULT_THREADS`] so tiny graphs and shared machines don't pay
-/// spawn and contention overhead per call.
+/// wake-up and contention overhead per call.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(MAX_DEFAULT_THREADS)
+    cp_exec::default_threads()
+}
+
+/// Per-worker persistent scratch for the APSP streamers: the distance
+/// row buffers and the BFS workspace live across batches in the
+/// executor's [`cp_exec::WorkerScratch`].
+#[derive(Default)]
+struct ApspScratch {
+    d1: Vec<u32>,
+    d2: Vec<u32>,
+    ws: BfsWorkspace,
+}
+
+impl ApspScratch {
+    fn row<'a>(
+        graph: &Graph,
+        src: NodeId,
+        dist: &'a mut Vec<u32>,
+        ws: &mut BfsWorkspace,
+    ) -> &'a [u32] {
+        if graph.is_weighted() {
+            dijkstra_into(graph, src, dist);
+        } else {
+            bfs_into(graph, src, dist, ws);
+        }
+        dist
+    }
 }
 
 /// Runs `sink(src, distance_row)` for every source node, in parallel.
@@ -49,36 +72,26 @@ where
         return;
     }
     let threads = threads.max(1).min(n);
-    let cursor = AtomicUsize::new(0);
-    let worker = || {
+    // Small inputs (or an explicit single thread) run on the calling
+    // thread: no pool wake-up, same rows in the same order.
+    if threads == 1 || n < INLINE_SOURCE_CUTOFF {
         let mut dist = Vec::new();
         let mut ws = BfsWorkspace::new();
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
+        for i in 0..n {
             let src = NodeId::new(i);
-            if graph.is_weighted() {
-                dijkstra_into(graph, src, &mut dist);
-            } else {
-                bfs_into(graph, src, &mut dist, &mut ws);
-            }
-            sink(src, &dist);
+            sink(src, ApspScratch::row(graph, src, &mut dist, &mut ws));
         }
-    };
-    // Small inputs (or an explicit single thread) run on the calling
-    // thread: no spawn, no scope, same rows in the same order.
-    if threads == 1 || n < INLINE_SOURCE_CUTOFF {
-        worker();
         return;
     }
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| worker());
-        }
-    })
-    .expect("APSP worker panicked");
+    let mut slots = vec![(); n];
+    cp_exec::global().run(&mut slots, threads, |i, _slot, ctx| {
+        let scratch = ctx.scratch.get_or(ApspScratch::default);
+        let src = NodeId::new(i);
+        sink(
+            src,
+            ApspScratch::row(graph, src, &mut scratch.d1, &mut scratch.ws),
+        );
+    });
 }
 
 /// Runs `sink(src, row_in_g1, row_in_g2)` for every source, in parallel.
@@ -100,40 +113,26 @@ where
         return;
     }
     let threads = threads.max(1).min(n);
-    let cursor = AtomicUsize::new(0);
-    let worker = || {
+    if threads == 1 || n < INLINE_SOURCE_CUTOFF {
         let mut d1 = Vec::new();
         let mut d2 = Vec::new();
         let mut ws = BfsWorkspace::new();
-        loop {
-            let i = cursor.fetch_add(1, Ordering::Relaxed);
-            if i >= n {
-                break;
-            }
+        for i in 0..n {
             let src = NodeId::new(i);
-            if g1.is_weighted() {
-                dijkstra_into(g1, src, &mut d1);
-            } else {
-                bfs_into(g1, src, &mut d1, &mut ws);
-            }
-            if g2.is_weighted() {
-                dijkstra_into(g2, src, &mut d2);
-            } else {
-                bfs_into(g2, src, &mut d2, &mut ws);
-            }
+            ApspScratch::row(g1, src, &mut d1, &mut ws);
+            ApspScratch::row(g2, src, &mut d2, &mut ws);
             sink(src, &d1, &d2);
         }
-    };
-    if threads == 1 || n < INLINE_SOURCE_CUTOFF {
-        worker();
         return;
     }
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| worker());
-        }
-    })
-    .expect("APSP worker panicked");
+    let mut slots = vec![(); n];
+    cp_exec::global().run(&mut slots, threads, |i, _slot, ctx| {
+        let scratch = ctx.scratch.get_or(ApspScratch::default);
+        let src = NodeId::new(i);
+        ApspScratch::row(g1, src, &mut scratch.d1, &mut scratch.ws);
+        ApspScratch::row(g2, src, &mut scratch.d2, &mut scratch.ws);
+        sink(src, &scratch.d1, &scratch.d2);
+    });
 }
 
 /// Collects the full distance matrix (row-major, `n × n`). Only sensible for

@@ -11,8 +11,6 @@
 //! the paper's evaluation.
 
 use crate::graph::{Graph, NodeId};
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Node and edge betweenness scores of one graph.
 ///
@@ -109,6 +107,30 @@ impl BrandesWorkspace {
     }
 }
 
+/// Per-worker persistent Brandes scratch: the traversal workspace and
+/// the private accumulation vectors live across batches in the
+/// executor's [`cp_exec::WorkerScratch`]. The accumulators are drained
+/// (merged and zeroed) at the end of every batch, so entries left from
+/// an earlier graph only ever need resizing, never clearing.
+struct BrandesScratch {
+    ws: BrandesWorkspace,
+    acc_node: Vec<f64>,
+    acc_edge: Vec<f64>,
+}
+
+impl BrandesScratch {
+    fn sized(&mut self, n: usize, m: usize) -> &mut Self {
+        if self.ws.dist.len() != n {
+            self.ws = BrandesWorkspace::new(n);
+        }
+        self.acc_node.clear();
+        self.acc_node.resize(n, 0.0);
+        self.acc_edge.clear();
+        self.acc_edge.resize(m, 0.0);
+        self
+    }
+}
+
 fn run_brandes(graph: &Graph, pivots: &[NodeId], threads: usize, scale: f64) -> Betweenness {
     assert!(
         !graph.is_weighted(),
@@ -116,34 +138,56 @@ fn run_brandes(graph: &Graph, pivots: &[NodeId], threads: usize, scale: f64) -> 
     );
     let n = graph.num_nodes();
     let m = graph.num_edges();
-    let cursor = AtomicUsize::new(0);
-    let merged: Mutex<(Vec<f64>, Vec<f64>)> = Mutex::new((vec![0.0; n], vec![0.0; m]));
     let threads = threads.max(1).min(pivots.len().max(1));
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| {
-                let mut ws = BrandesWorkspace::new(n);
-                let mut acc_node = vec![0.0; n];
-                let mut acc_edge = vec![0.0; m];
-                loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= pivots.len() {
-                        break;
-                    }
-                    ws.accumulate(graph, pivots[i], &mut acc_node, &mut acc_edge);
-                }
-                let mut guard = merged.lock();
-                for (dst, src) in guard.0.iter_mut().zip(&acc_node) {
-                    *dst += src;
-                }
-                for (dst, src) in guard.1.iter_mut().zip(&acc_edge) {
-                    *dst += src;
-                }
-            });
+    let mut node = vec![0.0; n];
+    let mut edge = vec![0.0; m];
+    if threads == 1 {
+        let mut ws = BrandesWorkspace::new(n);
+        for &p in pivots {
+            ws.accumulate(graph, p, &mut node, &mut edge);
         }
-    })
-    .expect("betweenness worker panicked");
-    let (mut node, mut edge) = merged.into_inner();
+    } else {
+        let mut slots = vec![(); pivots.len()];
+        cp_exec::global().run_collect(
+            &mut slots,
+            threads,
+            |i, _slot, ctx| {
+                let scratch = ctx.scratch.get_or(|| BrandesScratch {
+                    ws: BrandesWorkspace::new(n),
+                    acc_node: vec![0.0; n],
+                    acc_edge: vec![0.0; m],
+                });
+                if scratch.ws.dist.len() != n
+                    || scratch.acc_node.len() != n
+                    || scratch.acc_edge.len() != m
+                {
+                    scratch.sized(n, m);
+                }
+                let BrandesScratch {
+                    ws,
+                    acc_node,
+                    acc_edge,
+                } = scratch;
+                ws.accumulate(graph, pivots[i], acc_node, acc_edge);
+            },
+            |_w, scratch| {
+                // Merge per-worker accumulators in worker order, then
+                // zero them so the next batch starts clean.
+                if let Some(s) = scratch.get_if::<BrandesScratch>() {
+                    if s.acc_node.len() == n && s.acc_edge.len() == m {
+                        for (dst, src) in node.iter_mut().zip(&s.acc_node) {
+                            *dst += src;
+                        }
+                        for (dst, src) in edge.iter_mut().zip(&s.acc_edge) {
+                            *dst += src;
+                        }
+                        s.acc_node.iter_mut().for_each(|v| *v = 0.0);
+                        s.acc_edge.iter_mut().for_each(|v| *v = 0.0);
+                    }
+                }
+            },
+        );
+    }
     // Undirected: each unordered pair was counted from both endpoints when
     // iterating all sources; for pivot samples the halving still yields an
     // unbiased estimator of the unordered-pair score.

@@ -117,7 +117,9 @@ proptest! {
 /// edges over the whole universe — so nodes `k..n` model inserted nodes
 /// (isolated at `t1`), and the extra edges routinely connect previously
 /// separate components or touch previously isolated ones.
-fn growing_pair(n: u32) -> impl Strategy<Value = (usize, Vec<(u32, u32)>, Vec<(u32, u32)>)> {
+type GrowingPair = (usize, Vec<(u32, u32)>, Vec<(u32, u32)>);
+
+fn growing_pair(n: u32) -> impl Strategy<Value = GrowingPair> {
     (4..=n).prop_flat_map(move |nodes| {
         (1..=nodes).prop_flat_map(move |active| {
             let base = prop::collection::vec((0..active, 0..active), 0..80);

@@ -262,6 +262,11 @@ pub struct StreamEngine {
     ingest_secs: f64,
     prev_reported: HashSet<(NodeId, NodeId)>,
     shared: Arc<RwLock<Arc<StreamSnapshot>>>,
+    /// The worker pool every review's oracle fans out on. `None` uses the
+    /// process-wide [`cp_exec::global`] pool — either way the pool
+    /// persists across reviews, so workers are spawned once, not per
+    /// review.
+    exec: Option<Arc<cp_exec::Executor>>,
 }
 
 impl StreamEngine {
@@ -317,7 +322,22 @@ impl StreamEngine {
             ingest_secs: 0.0,
             prev_reported: HashSet::new(),
             shared: Arc::new(RwLock::new(epoch0)),
+            exec: None,
         }
+    }
+
+    /// Injects a dedicated worker pool for every future review's oracle
+    /// (builder style). Without one, reviews fan out on the process-wide
+    /// [`cp_exec::global`] pool. The pool only changes *where* batched
+    /// work runs — epochs are pool-invariant.
+    pub fn with_executor(mut self, exec: Arc<cp_exec::Executor>) -> Self {
+        self.set_executor(exec);
+        self
+    }
+
+    /// Injects a dedicated worker pool for every future review's oracle.
+    pub fn set_executor(&mut self, exec: Arc<cp_exec::Executor>) {
+        self.exec = Some(exec);
     }
 
     /// The engine's configuration.
@@ -488,6 +508,9 @@ impl StreamEngine {
         let g1 = Arc::clone(&self.current);
 
         let mut oracle = SnapshotOracle::with_budget(&g1, &next, 2 * self.config.m);
+        if let Some(exec) = &self.exec {
+            oracle.set_executor(Arc::clone(exec));
+        }
         if let Some(t) = self.config.threads {
             oracle.set_threads(t);
         }

@@ -136,6 +136,69 @@ fn engine_reviews_match_from_scratch_pipeline_across_the_matrix() {
     }
 }
 
+/// Executor axis: an engine with a dedicated injected pool reviews
+/// bit-identically to one on the implicit global pool, the same pool
+/// serves every review (≥3) without respawning workers, and the
+/// submitting thread keeps working a lane itself (fewer pool workers
+/// than the configured width).
+#[test]
+fn injected_pool_serves_every_review_without_respawning() {
+    let cuts = [0.6, 0.7, 0.8, 0.9, 1.0];
+    for (name, t) in generator_cases() {
+        let prefix = |f: f64| ((f * t.num_events() as f64).ceil() as usize).min(t.num_events());
+        let mut cfg = StreamConfig::new(
+            8,
+            SelectorKind::Mmsd { landmarks: 3 },
+            TopKSpec::ThresholdFromMax { slack: 1 },
+            3,
+        );
+        cfg.threads = Some(4);
+        cfg.kernel = Some(BfsKernel::Auto);
+        cfg.scan_kernel = Some(ScanKernel::Auto);
+        cfg.row_cache = Some(RowCacheBudget::Unbounded);
+        cfg.prune = Some(SsspPrune::Auto);
+        let pool = Arc::new(cp_exec::Executor::new(4));
+        let start = t.snapshot_of_prefix(prefix(cuts[0]));
+        let mut pooled = StreamEngine::from_snapshot(&start, cfg);
+        pooled.set_executor(Arc::clone(&pool));
+        let mut global = StreamEngine::from_snapshot(&start, cfg);
+        let mut spawned_after_first = None;
+        for (review, w) in cuts.windows(2).enumerate() {
+            let (f1, f2) = (prefix(w[0]), prefix(w[1]));
+            feed(&mut pooled, &t, f1, f2);
+            feed(&mut global, &t, f1, f2);
+            let got = pooled.review();
+            let want = global.review();
+            let ctx = format!("{name}/review={review}");
+            assert_eq!(
+                got.result.pairs, want.result.pairs,
+                "pairs diverge on a dedicated pool: {ctx}"
+            );
+            assert_eq!(
+                got.result.candidates, want.result.candidates,
+                "candidates diverge on a dedicated pool: {ctx}"
+            );
+            assert_eq!(
+                got.result.budget, want.result.budget,
+                "ledger diverges on a dedicated pool: {ctx}"
+            );
+            let spawned = pool.stats().workers_spawned;
+            assert!(
+                spawned < 4,
+                "{ctx}: the caller works a lane itself — at most 3 pool workers, got {spawned}"
+            );
+            match spawned_after_first {
+                None => spawned_after_first = Some(spawned),
+                Some(first) => assert_eq!(
+                    spawned, first,
+                    "{ctx}: the pool respawned workers between reviews"
+                ),
+            }
+        }
+        assert_eq!(pooled.reviews(), 4, "every cut must have been reviewed");
+    }
+}
+
 /// Chaining on vs chaining off: identical epochs review by review, and the
 /// chain actually fires (some review serves charges from imported donors
 /// or repairs against them) so the equality is not vacuous.

@@ -35,13 +35,39 @@ echo "==> cargo test -q -p cp-query [query conformance]"
 # brackets it, plus the 8-reader concurrency stress.
 cargo test -q -p cp-query
 
+echo "==> cargo test -q [CP_THREADS=8]"
+# Matrix leg: a wide persistent pool under every conformance suite —
+# the executor's work-stealing schedule must be invisible in every
+# result.
+CP_THREADS=8 cargo test -q -p cp-core -p cp-stream
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> pipeline_baseline release smoke (--scale=0.1)"
+echo "==> pipeline_baseline release smoke (CP_THREADS=2, --scale=0.1)"
 smoke_out="$(mktemp -t bench_pipeline_smoke.XXXXXX.json)"
-cargo run --release -q -p cp-bench --bin pipeline_baseline -- \
+CP_THREADS=2 cargo run --release -q -p cp-bench --bin pipeline_baseline -- \
     --scale=0.1 --out="$smoke_out" > /dev/null
+# The persistent executor must make threads a non-loss: no dataset's
+# multi-thread rung may lose to its single-thread twin beyond the
+# noise allowance.
+if grep -q '"thread_regression": true' "$smoke_out"; then
+    echo "ci.sh: a dataset regressed when threaded — the persistent pool is not paying off" >&2
+    rm -f "$smoke_out"
+    exit 1
+fi
+grep -q '"thread_regression": false' "$smoke_out" || {
+    echo "ci.sh: thread_regression missing from the baseline JSON" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
+# And work must actually migrate between lanes: the summed steal count
+# over all sweeps is nonzero.
+grep -q '"exec_steals": [1-9]' "$smoke_out" || {
+    echo "ci.sh: no executor batch ever stole work between lanes" >&2
+    rm -f "$smoke_out"
+    exit 1
+}
 # The Δ-scan ladder must actually exercise chunk skipping somewhere:
 # at least one dataset reports a nonzero scan_chunks_skipped.
 grep -q '"scan_chunks_skipped": [1-9]' "$smoke_out" || {

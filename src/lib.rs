@@ -29,6 +29,10 @@
 //!   `Δ(u,v)`), per-seed top-k and composable traversals served entirely
 //!   from published epochs, with honest `Exact`/`Bounded`/`Unknown`
 //!   answers.
+//! * [`exec`] (`cp-exec`) — the persistent work-stealing executor every
+//!   parallel phase runs on: workers spawned once per process (or per
+//!   injected pool), parked between batches, with per-worker scratch that
+//!   persists across batches.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +59,7 @@
 //! ```
 
 pub use cp_core as core;
+pub use cp_exec as exec;
 pub use cp_gen as gen;
 pub use cp_graph as graph;
 pub use cp_ml as ml;
